@@ -1,0 +1,135 @@
+// Command bttomo runs BitTorrent bandwidth tomography on one of the
+// built-in Grid'5000 datasets and prints the discovered logical clusters,
+// their modularity, and the NMI against the ground truth.
+//
+// Usage:
+//
+//	bttomo -dataset GT -iterations 10 -scale 0.25 -seed 7 -fig13
+//	bttomo -dataset B -save b.json        # archive the measurement graph
+//	bttomo -load b.json                   # re-cluster an archived graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/persist"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "GT", "dataset: "+strings.Join(repro.Datasets(), ", "))
+		iterations = flag.Int("iterations", 10, "number of BitTorrent broadcast iterations")
+		scale      = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		rotate     = flag.Bool("rotate-root", false, "rotate the broadcast root across iterations")
+		fig13      = flag.Bool("fig13", false, "print the per-iteration NMI convergence series")
+		save       = flag.String("save", "", "write the aggregated measurement graph to this JSON file")
+		load       = flag.String("load", "", "skip measurement: cluster an archived measurement graph")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		if err := runArchived(*load, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bttomo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*dataset, *iterations, *scale, *seed, *rotate, *fig13, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "bttomo:", err)
+		os.Exit(1)
+	}
+}
+
+// runArchived clusters a previously saved measurement graph without
+// re-measuring.
+func runArchived(path string, seed int64) error {
+	g, err := persist.LoadGraph(path)
+	if err != nil {
+		return err
+	}
+	res := cluster.Louvain(g, rand.New(rand.NewSource(seed)))
+	fmt.Printf("archived measurement %s: %d nodes, %d edges\n", path, g.N(), g.EdgeCount())
+	fmt.Printf("clustering: %d clusters, modularity Q=%.3f\n\n", res.Partition.NumClusters(), res.Q)
+	for ci, members := range res.Partition.Clusters() {
+		names := make([]string, 0, len(members))
+		for _, v := range members {
+			names = append(names, g.Label(v))
+		}
+		fmt.Printf("cluster %d (%d nodes): %s\n", ci, len(members), strings.Join(names, " "))
+	}
+	return nil
+}
+
+func run(dataset string, iterations int, scale float64, seed int64, rotate, fig13 bool, save string) error {
+	d, err := repro.NewDataset(dataset)
+	if err != nil {
+		return err
+	}
+	opts := repro.DefaultOptions()
+	opts.Iterations = iterations
+	opts.Seed = seed
+	opts.RotateRoot = rotate
+	if scale > 0 && scale != 1 {
+		opts.BT.FileBytes = int(float64(opts.BT.FileBytes) * scale)
+		if opts.BT.FileBytes < opts.BT.FragmentSize {
+			opts.BT.FileBytes = opts.BT.FragmentSize
+		}
+	}
+
+	fmt.Printf("dataset %s: %d hosts, ground truth: %s\n", d.Name, d.N(), d.TruthNote)
+	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes\n\n",
+		opts.Iterations, opts.BT.NumFragments(), opts.BT.FragmentSize)
+
+	res, err := repro.Run(d, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("measurement phase: %.1f simulated seconds total (%.1f s/broadcast)\n",
+		res.TotalMeasurementTime, res.TotalMeasurementTime/float64(opts.Iterations))
+	fmt.Printf("clustering: %d clusters, modularity Q=%.3f, NMI vs truth=%.3f\n\n",
+		res.Partition.NumClusters(), res.Q, res.NMI)
+
+	for ci, members := range res.Partition.Clusters() {
+		names := make([]string, 0, len(members))
+		for _, v := range members {
+			names = append(names, d.HostName(v))
+		}
+		fmt.Printf("cluster %d (%d nodes): %s\n", ci, len(members), strings.Join(names, " "))
+	}
+	for _, b := range repro.Bottlenecks(res) {
+		fmt.Println("bottleneck:", b)
+	}
+	fmt.Println()
+
+	if save != "" {
+		if err := persist.SaveGraph(save, res.Graph); err != nil {
+			return err
+		}
+		fmt.Printf("measurement graph saved to %s\n\n", save)
+	}
+
+	if fig13 {
+		t := &report.Table{
+			Title:  "NMI convergence (Fig. 13 series)",
+			Header: []string{"iteration", "NMI", "clusters", "Q"},
+		}
+		for _, rec := range res.Iterations {
+			if rec.Clustered {
+				t.AddRow(rec.Iteration, rec.NMI, rec.Partition.NumClusters(), rec.Q)
+			}
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

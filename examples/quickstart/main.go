@@ -1,0 +1,53 @@
+// Quickstart: run BitTorrent bandwidth tomography on the two-site
+// Grenoble+Toulouse dataset and print the discovered logical clusters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The GT dataset models two Grid'5000 sites (32 nodes each) joined
+	// by the Renater backbone. Its ground truth is one logical cluster
+	// per site.
+	dataset, err := repro.NewDataset("GT")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A handful of iterations at a quarter of the paper's 239 MB payload
+	// is plenty for this topology and keeps the example fast.
+	opts := repro.DefaultOptions()
+	opts.Iterations = 6
+	opts.BT.FileBytes /= 4
+
+	res, err := repro.Run(dataset, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measured %d hosts in %.1f simulated seconds (%d broadcasts)\n",
+		dataset.N(), res.TotalMeasurementTime, opts.Iterations)
+	fmt.Printf("found %d logical clusters (modularity Q=%.3f, NMI vs ground truth=%.3f)\n\n",
+		res.Partition.NumClusters(), res.Q, res.NMI)
+
+	for ci, members := range res.Partition.Clusters() {
+		fmt.Printf("cluster %d: %d nodes, e.g. %s ... %s\n",
+			ci, len(members),
+			dataset.HostName(members[0]),
+			dataset.HostName(members[len(members)-1]))
+	}
+
+	fmt.Println("\nNMI per iteration (how quickly the clustering converges):")
+	for _, rec := range res.Iterations {
+		if rec.Clustered {
+			fmt.Printf("  after %2d broadcast(s): NMI=%.3f, %d clusters\n",
+				rec.Iteration, rec.NMI, rec.Partition.NumClusters())
+		}
+	}
+}

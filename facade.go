@@ -1,0 +1,82 @@
+package repro
+
+// Facade re-exports for the subsystems a downstream user needs alongside
+// the tomography pipeline: measurement archival and topology-aware
+// collective scheduling. Everything is a thin alias over the internal
+// packages so external importers of module "repro" can reach them.
+
+import (
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/persist"
+)
+
+// MeasurementGraph is the aggregated w(e) graph produced by Run (also the
+// type of Result.Graph).
+type MeasurementGraph = graph.Graph
+
+// SaveMeasurement archives a measurement graph as JSON, so the analysis
+// phase can be re-run later without re-measuring (see also
+// `bttomo -save/-load`).
+func SaveMeasurement(path string, g *MeasurementGraph) error {
+	return persist.SaveGraph(path, g)
+}
+
+// LoadMeasurement reads an archived measurement graph.
+func LoadMeasurement(path string) (*MeasurementGraph, error) {
+	return persist.LoadGraph(path)
+}
+
+// Boundary describes the measured traffic across one discovered cluster
+// boundary — an explicit bottleneck report.
+type Boundary = core.Boundary
+
+// Bottlenecks summarises every cluster boundary of a result: which
+// cluster pairs are separated and how starved their cross traffic is
+// relative to intra-cluster traffic (the paper's "correctly identified
+// communication bottleneck links", §V).
+func Bottlenecks(res *Result) []Boundary {
+	return core.Bottlenecks(res.Graph, res.Partition)
+}
+
+// Schedule is a staged collective-communication plan: stages run
+// sequentially, transfers within a stage run concurrently.
+type Schedule = collective.Schedule
+
+// Transfer is one point-to-point message within a Schedule stage.
+type Transfer = collective.Transfer
+
+// CollectiveResult reports an executed schedule's timing.
+type CollectiveResult = collective.Result
+
+// BroadcastBinomial builds the topology-agnostic binomial-tree broadcast
+// over the given host order (first entry is the root).
+func BroadcastBinomial(order []int) (Schedule, error) {
+	return collective.BroadcastBinomial(order)
+}
+
+// BroadcastClusterAware builds a hierarchical broadcast over logical
+// clusters (e.g. Result.Partition.Clusters()): each inter-cluster
+// bottleneck is crossed exactly once.
+func BroadcastClusterAware(clusters [][]int, root int) (Schedule, error) {
+	return collective.BroadcastClusterAware(clusters, root)
+}
+
+// ReduceClusterAware builds the hierarchical reduction dual to
+// BroadcastClusterAware.
+func ReduceClusterAware(clusters [][]int, root int) (Schedule, error) {
+	return collective.ReduceClusterAware(clusters, root)
+}
+
+// ExecuteBroadcast validates and runs a broadcast schedule on a dataset's
+// network, returning its completion time.
+func ExecuteBroadcast(d *Dataset, sched Schedule, root int, bytes float64) (CollectiveResult, error) {
+	return collective.ExecuteBroadcast(d.Eng, d.Net, d.Hosts, sched, root, bytes)
+}
+
+// ExecuteReduce validates and runs a reduce schedule on a dataset's
+// network.
+func ExecuteReduce(d *Dataset, sched Schedule, root int, bytes float64) (CollectiveResult, error) {
+	return collective.ExecuteReduce(d.Eng, d.Net, d.Hosts, sched, root, bytes)
+}

@@ -1,0 +1,81 @@
+// Package baseline implements the measurement procedures the paper
+// compares against (§I, §II-B, Fig. 2):
+//
+//   - a NetPIPE-style point-to-point bandwidth probe (§IV-A), used both
+//     for ground-truthing link speeds and to show that isolated
+//     point-to-point measurements are stable but blind to bottlenecks;
+//   - traditional saturation tomography: sequential pairwise saturation
+//     probes, O(N²) in probe count ([13], which needed about an hour for
+//     20 nodes), optionally under background load;
+//   - triplet interference probing, the O(N³) building block of [12].
+//
+// All procedures run on the same simulated network as the BitTorrent
+// method, so measurement cost (simulated seconds, probe counts) and
+// reconstruction quality are directly comparable.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// NetPipePoint is one step of the NetPIPE message-size sweep.
+type NetPipePoint struct {
+	Bytes      float64
+	Mbps       float64
+	SecondsRTT float64 // round-trip time for the ping-pong at this size
+}
+
+// NetPipeResult is the outcome of a point-to-point probe.
+type NetPipeResult struct {
+	Points []NetPipePoint
+	// MaxMbps is the peak throughput over the sweep — the figure the
+	// paper quotes (890 Mbit/s intra-cluster, 787 Mbit/s inter-site).
+	MaxMbps float64
+	// Elapsed is the simulated time the probe consumed.
+	Elapsed float64
+}
+
+// NetPipe measures achievable point-to-point bandwidth between two hosts
+// with a ping-pong message-size sweep from 1 KiB to maxBytes (doubling),
+// like the NetPIPE tool the paper uses. The network should otherwise be
+// idle; the result then has very low variance, matching §II-C.
+func NetPipe(eng *sim.Engine, net *simnet.Network, a, b int, maxBytes float64) (NetPipeResult, error) {
+	if maxBytes < 2048 {
+		maxBytes = 64 << 20
+	}
+	res := NetPipeResult{}
+	start := eng.Now()
+	for size := 1024.0; size <= maxBytes; size *= 2 {
+		t0 := eng.Now()
+		if err := await(eng, net, a, b, size); err != nil {
+			return res, err
+		}
+		if err := await(eng, net, b, a, size); err != nil {
+			return res, err
+		}
+		rtt := eng.Now() - t0
+		mbps := simnet.ToMbps(2 * size / rtt)
+		res.Points = append(res.Points, NetPipePoint{Bytes: size, Mbps: mbps, SecondsRTT: rtt})
+		if mbps > res.MaxMbps {
+			res.MaxMbps = mbps
+		}
+	}
+	res.Elapsed = eng.Now() - start
+	return res, nil
+}
+
+// await runs one flow to completion, driving the engine.
+func await(eng *sim.Engine, net *simnet.Network, src, dst int, size float64) error {
+	done := false
+	net.StartFlow(src, dst, size, func() { done = true })
+	for !done {
+		if !eng.Step() {
+			return fmt.Errorf("baseline: engine drained before %s->%s probe completed",
+				net.Name(src), net.Name(dst))
+		}
+	}
+	return nil
+}

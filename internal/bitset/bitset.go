@@ -1,0 +1,103 @@
+// Package bitset provides a compact fixed-size bit set used for BitTorrent
+// piece bookkeeping (have/in-flight maps over ~15k fragments).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is unusable; call New.
+type Set struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// New returns a set able to hold bits 0..n-1, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int { return s.count }
+
+// Full reports whether every bit is set.
+func (s *Set) Full() bool { return s.count == s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i, reporting whether it changed.
+func (s *Set) Set(i int) bool {
+	s.check(i)
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	s.count++
+	return true
+}
+
+// Clear clears bit i, reporting whether it changed.
+func (s *Set) Clear(i int) bool {
+	s.check(i)
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	s.count--
+	return true
+}
+
+// SetAll sets every bit.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if tail := s.n & 63; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << uint(tail)) - 1
+	}
+	s.count = s.n
+}
+
+// AnyAndNot reports whether the set contains a bit that other lacks, i.e.
+// whether s \ other is non-empty. This is the "remote has a piece I need"
+// interest test (called with s = remote.have, other = local.have).
+func (s *Set) AnyAndNot(other *Set) bool {
+	if other.n != s.n {
+		panic("bitset: size mismatch")
+	}
+	for i, w := range s.words {
+		if w&^other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountAndNot returns |s \ other|.
+func (s *Set) CountAndNot(other *Set) int {
+	if other.n != s.n {
+		panic("bitset: size mismatch")
+	}
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w &^ other.words[i])
+	}
+	return total
+}

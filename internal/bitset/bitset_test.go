@@ -1,0 +1,162 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetGetClear(t *testing.T) {
+	s := New(130) // spans three words
+	if s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if !s.Set(i) {
+			t.Fatalf("Set(%d) reported no change on empty set", i)
+		}
+		if !s.Get(i) {
+			t.Fatalf("Get(%d) false after Set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	if s.Set(63) {
+		t.Fatal("double Set reported a change")
+	}
+	if !s.Clear(63) {
+		t.Fatal("Clear reported no change")
+	}
+	if s.Get(63) || s.Count() != 4 {
+		t.Fatal("Clear did not clear")
+	}
+	if s.Clear(63) {
+		t.Fatal("double Clear reported a change")
+	}
+}
+
+func TestSetAllAndFull(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 1000} {
+		s := New(n)
+		s.SetAll()
+		if !s.Full() || s.Count() != n {
+			t.Fatalf("n=%d: SetAll gave Count=%d Full=%v", n, s.Count(), s.Full())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Get(i) {
+				t.Fatalf("n=%d: bit %d clear after SetAll", n, i)
+			}
+		}
+	}
+}
+
+func TestSetAllTailDoesNotOverflow(t *testing.T) {
+	s := New(70)
+	s.SetAll()
+	if s.Count() != 70 {
+		t.Fatalf("Count = %d, want 70", s.Count())
+	}
+	// Clearing a real bit must not be confused by phantom tail bits.
+	s.Clear(69)
+	if s.Count() != 69 || s.Full() {
+		t.Fatal("tail handling broken")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Get(10)
+}
+
+func TestAnyAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	if a.AnyAndNot(b) {
+		t.Fatal("empty \\ empty should be empty")
+	}
+	a.Set(42)
+	if !a.AnyAndNot(b) {
+		t.Fatal("a has 42, b empty: difference should be non-empty")
+	}
+	b.Set(42)
+	if a.AnyAndNot(b) {
+		t.Fatal("b covers a: difference should be empty")
+	}
+	b.Set(50)
+	if a.AnyAndNot(b) {
+		t.Fatal("b superset of a: difference should be empty")
+	}
+	if !b.AnyAndNot(a) {
+		t.Fatal("b \\ a should be non-empty")
+	}
+}
+
+func TestCountAndNot(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 4 {
+		b.Set(i)
+	}
+	if got := a.CountAndNot(b); got != 50 {
+		t.Fatalf("CountAndNot = %d, want 50", got)
+	}
+	if got := b.CountAndNot(a); got != 0 {
+		t.Fatalf("CountAndNot = %d, want 0", got)
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).AnyAndNot(New(11))
+}
+
+// Property: Count always equals the number of Get-true bits, and
+// CountAndNot matches a brute-force count.
+func TestCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		a, b := New(n), New(n)
+		ref := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			k := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				a.Set(k)
+				ref[k] = true
+			case 1:
+				a.Clear(k)
+				delete(ref, k)
+			case 2:
+				b.Set(k)
+			}
+		}
+		if a.Count() != len(ref) {
+			return false
+		}
+		diff := 0
+		any := false
+		for k := range ref {
+			if !b.Get(k) {
+				diff++
+				any = true
+			}
+		}
+		return a.CountAndNot(b) == diff && a.AnyAndNot(b) == any
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

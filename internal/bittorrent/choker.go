@@ -1,0 +1,168 @@
+package bittorrent
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the control plane: the choke algorithm.
+//
+// Following the mainline client the paper instruments, each peer uploads
+// to at most UploadSlots others: the top UploadSlots-1 ranked by transfer
+// rate (tit-for-tat for leechers, delivery rate for seeds) plus one
+// optimistic unchoke rotated every OptimisticInterval. As in the mainline
+// Choker, a re-rank runs not only on the periodic timer but also whenever
+// a peer's interest changes — this responsiveness is what concentrates
+// upload slots on fast (local) connections within a single ~20 s
+// broadcast, producing the locality preference the paper measures.
+
+// rateTau is the averaging horizon of the per-connection rate estimator,
+// mirroring the mainline client's rolling rate measure.
+const rateTau = 5.0
+
+// rateEst is an exponentially-decayed throughput estimator.
+type rateEst struct {
+	v float64 // bytes/s estimate at time t
+	t float64
+}
+
+func (r *rateEst) add(now, bytes float64) {
+	r.v = r.v*math.Exp(-(now-r.t)/rateTau) + bytes/rateTau
+	r.t = now
+}
+
+func (r *rateEst) at(now float64) float64 {
+	return r.v * math.Exp(-(now-r.t)/rateTau)
+}
+
+// unchoke opens c for uploads from p[up] and immediately offers the
+// downloader a request opportunity.
+func (s *swarm) unchoke(c *conn, up int) {
+	if !c.choked[up] {
+		return
+	}
+	c.choked[up] = false
+	c.p[up].unchoked++
+	s.tryRequest(c, up)
+}
+
+// choke closes c for new uploads from p[up]. An in-flight batch is allowed
+// to finish (as in the real protocol, outstanding requests drain).
+func (s *swarm) choke(c *conn, up int) {
+	if c.choked[up] {
+		return
+	}
+	c.choked[up] = true
+	c.p[up].unchoked--
+}
+
+// fillSlots eagerly unchokes random interested peers while p has free
+// upload slots. It is the cheap, non-displacing slot refill used from
+// within request processing; displacement decisions happen in rechoke.
+func (s *swarm) fillSlots(p *peer) {
+	if p.unchoked >= s.cfg.UploadSlots {
+		return
+	}
+	var idle []*conn
+	for _, c := range p.conns {
+		ps := c.side(p)
+		if c.choked[ps] && c.interested[1-ps] && !c.p[1-ps].complete {
+			idle = append(idle, c)
+		}
+	}
+	for p.unchoked < s.cfg.UploadSlots && len(idle) > 0 {
+		k := s.rng.Intn(len(idle))
+		c := idle[k]
+		idle[k] = idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+		s.unchoke(c, c.side(p))
+	}
+}
+
+// rechoke re-ranks p's upload slots. rotate selects a fresh optimistic
+// unchoke; it is set by the periodic tick every OptimisticInterval.
+func (s *swarm) rechoke(p *peer, rotate bool) {
+	if p.rechoking {
+		return // re-entrant call via unchoke->tryRequest; state already settling
+	}
+	p.rechoking = true
+	defer func() { p.rechoking = false }()
+
+	now := s.eng.Now()
+	var cands []*conn
+	for _, c := range p.conns {
+		ps := c.side(p)
+		if c.interested[1-ps] && !c.p[1-ps].complete {
+			cands = append(cands, c)
+		}
+	}
+	// Leechers rank by what the remote gives them (tit-for-tat); seeds by
+	// what they deliver to the remote (favouring fast downloaders, the
+	// mainline seed policy). Shuffle first for random tie-breaking.
+	s.rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	rate := func(c *conn) float64 {
+		ps := c.side(p)
+		if p.complete {
+			return c.rate[1-ps].at(now)
+		}
+		return c.rate[ps].at(now)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return rate(cands[i]) > rate(cands[j]) })
+
+	keep := make(map[*conn]bool, s.cfg.UploadSlots)
+	regular := s.cfg.UploadSlots - 1
+	for i := 0; i < len(cands) && i < regular; i++ {
+		keep[cands[i]] = true
+	}
+	// Optimistic slot.
+	if p.optimistic != nil {
+		ps := p.optimistic.side(p)
+		if !p.optimistic.interested[1-ps] || p.optimistic.p[1-ps].complete {
+			p.optimistic = nil
+		}
+	}
+	if p.optimistic == nil || rotate || keep[p.optimistic] {
+		var pool []*conn
+		for _, c := range cands {
+			if !keep[c] {
+				pool = append(pool, c)
+			}
+		}
+		if len(pool) > 0 {
+			p.optimistic = pool[s.rng.Intn(len(pool))]
+		} else {
+			p.optimistic = nil
+		}
+	}
+	if p.optimistic != nil {
+		keep[p.optimistic] = true
+	}
+
+	for _, c := range p.conns {
+		ps := c.side(p)
+		switch {
+		case keep[c]:
+			if c.choked[ps] {
+				s.unchoke(c, ps)
+			} else if c.flow[ps] == nil {
+				s.tryRequest(c, ps)
+			}
+		case !c.choked[ps]:
+			s.choke(c, ps)
+		}
+	}
+	// If fewer candidates than slots, the spare slots stay free for
+	// eager refills as new interest arrives.
+}
+
+// tick is the periodic choker timer (every RechokeInterval), which also
+// rotates the optimistic unchoke every OptimisticInterval.
+func (s *swarm) tick(p *peer) {
+	p.rechokes++
+	rotateEvery := int(s.cfg.OptimisticInterval/s.cfg.RechokeInterval + 0.5)
+	if rotateEvery < 1 {
+		rotateEvery = 1
+	}
+	s.rechoke(p, p.rechokes%rotateEvery == 1)
+	p.rechokeEv = s.eng.Schedule(s.cfg.RechokeInterval, func() { s.tick(p) })
+}

@@ -1,0 +1,161 @@
+package bittorrent
+
+// End-state invariant tests: after a completed broadcast the swarm's
+// internal bookkeeping must be fully consistent.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// runSwarmWhiteBox runs a broadcast with the swarm internals visible,
+// mirroring RunBroadcast's setup.
+func runSwarmWhiteBox(t *testing.T, n, pieces int, seed int64) *swarm {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := simnet.New(eng)
+	sw := net.AddSwitch("sw")
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = net.AddHost("h")
+		net.Connect(hosts[i], sw, simnet.LinkSpec{Capacity: simnet.Mbps(890), Latency: 50e-6})
+	}
+	cfg := DefaultConfig()
+	cfg.FileBytes = pieces * cfg.FragmentSize
+	s := &swarm{
+		eng:    eng,
+		net:    net,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		rttCap: make(map[[2]int]float64),
+		pieces: cfg.NumFragments(),
+		start:  eng.Now(),
+	}
+	buildPeersForTest(s, hosts)
+	s.wirePeers()
+	root := s.peers[cfg.Root]
+	for _, c := range root.conns {
+		rs := 1 - c.side(root)
+		c.interested[rs] = true
+	}
+	for _, p := range s.peers {
+		s.fillSlots(p)
+	}
+	for _, p := range s.peers {
+		p := p
+		first := cfg.RechokeInterval * (0.9 + 0.2*s.rng.Float64())
+		p.rechokeEv = eng.Schedule(first, func() { s.tick(p) })
+	}
+	for s.remaining > 0 {
+		if !eng.Step() {
+			t.Fatal("white-box broadcast stalled")
+		}
+	}
+	s.finish()
+	return s
+}
+
+func buildPeersForTest(s *swarm, hosts []int) {
+	n := len(hosts)
+	s.avail = make([]int32, s.pieces)
+	s.frag = make([][]int, n)
+	for i := range s.frag {
+		s.frag[i] = make([]int, n)
+	}
+	s.peers = make([]*peer, n)
+	for i, h := range hosts {
+		p := &peer{idx: i, host: h}
+		p.have = bitset.New(s.pieces)
+		p.inflight = bitset.New(s.pieces)
+		if i == s.cfg.Root {
+			p.have.SetAll()
+			p.complete = true
+			for k := range s.avail {
+				s.avail[k] = 1
+			}
+		} else {
+			p.need = make([]int32, s.pieces)
+			for k := range p.need {
+				p.need[k] = int32(k)
+			}
+			s.rng.Shuffle(len(p.need), func(a, b int) {
+				p.need[a], p.need[b] = p.need[b], p.need[a]
+			})
+		}
+		s.peers[i] = p
+	}
+	s.remaining = n - 1
+}
+
+func TestEndStateInvariants(t *testing.T) {
+	s := runSwarmWhiteBox(t, 10, 200, 3)
+	n := len(s.peers)
+	// Everyone complete, nothing in flight.
+	for _, p := range s.peers {
+		if !p.complete || !p.have.Full() {
+			t.Fatalf("peer %d incomplete at end", p.idx)
+		}
+		if p.inflight.Count() != 0 {
+			t.Fatalf("peer %d has %d in-flight pieces at end", p.idx, p.inflight.Count())
+		}
+	}
+	// Availability equals the peer count for every piece.
+	for pc, av := range s.avail {
+		if int(av) != n {
+			t.Fatalf("piece %d availability %d, want %d", pc, av, n)
+		}
+	}
+	// No active data flows remain; no connection still holds a batch.
+	if s.net.ActiveFlows() != 0 {
+		t.Fatalf("%d flows still active after completion", s.net.ActiveFlows())
+	}
+	for _, p := range s.peers {
+		for _, c := range p.conns {
+			for side := 0; side < 2; side++ {
+				if c.flow[side] != nil || c.batch[side] != nil {
+					t.Fatal("connection still mid-transfer after completion")
+				}
+			}
+		}
+	}
+	// Upload slot counters are consistent with choke flags.
+	for _, p := range s.peers {
+		count := 0
+		for _, c := range p.conns {
+			if !c.choked[c.side(p)] {
+				count++
+			}
+		}
+		if count != p.unchoked {
+			t.Fatalf("peer %d unchoked counter %d, flags say %d", p.idx, p.unchoked, count)
+		}
+	}
+	// Fragment accounting is mirrored by the receive counters.
+	total := 0
+	for _, row := range s.frag {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != (n-1)*s.pieces {
+		t.Fatalf("fragment total %d, want %d", total, (n-1)*s.pieces)
+	}
+}
+
+func TestEndStateInvariantsAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := runSwarmWhiteBox(t, 6, 120, seed)
+		for _, p := range s.peers {
+			if !p.complete {
+				t.Fatalf("seed %d: peer %d incomplete", seed, p.idx)
+			}
+			if p.inflight.Count() != 0 {
+				t.Fatalf("seed %d: dangling inflight", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package collective
+
+// Reduce-style collectives. A reduction (or gather) is the mirror image
+// of a broadcast: data flows leaf-to-root along the same tree, so every
+// broadcast schedule induces a valid reduce schedule by reversing stage
+// order and flipping transfer direction. The cluster-aware benefit is
+// identical: each bottleneck is crossed once, by the cluster
+// representative's partial result.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Reverse returns the schedule that runs s backwards with every transfer
+// flipped — the reduce induced by a broadcast tree.
+func Reverse(s Schedule) Schedule {
+	out := make(Schedule, 0, len(s))
+	for i := len(s) - 1; i >= 0; i-- {
+		stage := make([]Transfer, len(s[i]))
+		for j, tr := range s[i] {
+			stage[j] = Transfer{Src: tr.Dst, Dst: tr.Src}
+		}
+		out = append(out, stage)
+	}
+	return out
+}
+
+// ReduceBinomial builds the classic binomial-tree reduction to
+// order[0] over the given node order.
+func ReduceBinomial(order []int) (Schedule, error) {
+	b, err := BroadcastBinomial(order)
+	if err != nil {
+		return nil, err
+	}
+	return Reverse(b), nil
+}
+
+// ReduceClusterAware builds a hierarchical reduction: every cluster
+// reduces internally to its representative, then the representatives'
+// partials cross to the root, each bottleneck carrying exactly one
+// transfer.
+func ReduceClusterAware(clusters [][]int, root int) (Schedule, error) {
+	b, err := BroadcastClusterAware(clusters, root)
+	if err != nil {
+		return nil, err
+	}
+	return Reverse(b), nil
+}
+
+// verifyReduce checks that a schedule funnels every host's contribution
+// into root: walking the stages, a host that has already sent its
+// (partial) result away must not send again or receive afterwards, and at
+// the end only root still holds data.
+func verifyReduce(s Schedule, n, root int) error {
+	holds := make([]bool, n) // still holds an unsent partial
+	for i := range holds {
+		holds[i] = true
+	}
+	for si, stage := range s {
+		sentThisStage := map[int]bool{}
+		for _, tr := range stage {
+			if !holds[tr.Src] {
+				return fmt.Errorf("collective: stage %d: host %d sends but holds nothing", si, tr.Src)
+			}
+			if sentThisStage[tr.Src] {
+				return fmt.Errorf("collective: stage %d: host %d sends twice", si, tr.Src)
+			}
+			if !holds[tr.Dst] {
+				return fmt.Errorf("collective: stage %d: host %d reduces into a retired host", si, tr.Dst)
+			}
+			sentThisStage[tr.Src] = true
+		}
+		for src := range sentThisStage {
+			holds[src] = false
+		}
+	}
+	for i, h := range holds {
+		if h != (i == root) {
+			if i == root {
+				return fmt.Errorf("collective: root %d lost its partial", root)
+			}
+			return fmt.Errorf("collective: host %d never contributed", i)
+		}
+	}
+	return nil
+}
+
+// ExecuteReduce validates that sched is a correct reduction into root
+// before executing it.
+func ExecuteReduce(eng *sim.Engine, net *simnet.Network, hosts []int, sched Schedule, root int, bytes float64) (Result, error) {
+	if err := verifyReduce(sched, len(hosts), root); err != nil {
+		return Result{}, err
+	}
+	return Execute(eng, net, hosts, sched, bytes)
+}

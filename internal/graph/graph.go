@@ -1,0 +1,286 @@
+// Package graph provides the weighted undirected graph representation
+// shared by the tomography pipeline, the clustering algorithms and the
+// layout engine.
+//
+// Vertices are dense integer identifiers 0..N-1 with optional string
+// labels. Edge weights are float64 and accumulate: adding weight to an
+// existing edge sums the weights, which is exactly the aggregation the
+// paper's metric w(e) (Eq. 2) requires across BitTorrent iterations.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected weighted edge with U <= V.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is a weighted undirected graph. Self-loops are permitted (they
+// matter for modularity on coarsened graphs) and are stored with U == V.
+type Graph struct {
+	n        int
+	labels   []string
+	adj      []map[int]float64 // adj[u][v] = weight
+	strength []float64         // incremental weighted degrees
+	total    float64           // sum of edge weights (self-loops counted once)
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{
+		n:        n,
+		labels:   make([]string, n),
+		adj:      make([]map[int]float64, n),
+		strength: make([]float64, n),
+	}
+	for i := range g.labels {
+		g.labels[i] = fmt.Sprintf("v%d", i)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// SetLabel assigns a display label to vertex v.
+func (g *Graph) SetLabel(v int, label string) {
+	g.check(v)
+	g.labels[v] = label
+}
+
+// Label returns the display label of vertex v.
+func (g *Graph) Label(v int) string {
+	g.check(v)
+	return g.labels[v]
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddWeight adds w to the weight of edge (u,v), creating it if absent.
+// Negative accumulated weights are rejected because the downstream
+// algorithms (modularity, layout) assume non-negative weights.
+func (g *Graph) AddWeight(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u > v {
+		u, v = v, u
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]float64)
+	}
+	nw := g.adj[u][v] + w
+	if nw < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) weight would become negative (%g)", u, v, nw))
+	}
+	g.total += w
+	if u == v {
+		// Self-loops contribute twice to the weighted degree, the
+		// standard convention for weighted modularity.
+		g.strength[u] += 2 * w
+	} else {
+		g.strength[u] += w
+		g.strength[v] += w
+	}
+	if nw == 0 {
+		delete(g.adj[u], v)
+		if u != v {
+			if g.adj[v] != nil {
+				delete(g.adj[v], u)
+			}
+		}
+		return
+	}
+	g.adj[u][v] = nw
+	if u != v {
+		if g.adj[v] == nil {
+			g.adj[v] = make(map[int]float64)
+		}
+		g.adj[v][u] = nw
+	}
+}
+
+// Weight returns the weight of edge (u,v), or zero if absent.
+func (g *Graph) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	if g.adj[u] == nil {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// HasEdge reports whether edge (u,v) exists with non-zero weight.
+func (g *Graph) HasEdge(u, v int) bool { return g.Weight(u, v) != 0 }
+
+// TotalWeight returns the sum of all edge weights, counting each
+// undirected edge (and each self-loop) once.
+func (g *Graph) TotalWeight() float64 { return g.total }
+
+// Degree returns the number of distinct neighbours of v (self-loop
+// included if present).
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Strength returns the weighted degree of v: the sum of weights of
+// incident edges, with self-loops counted twice (the standard convention
+// for weighted modularity). It is maintained incrementally, so reads are
+// O(1) and the summation order — hence the floating-point result — is the
+// deterministic insertion order.
+func (g *Graph) Strength(v int) float64 {
+	g.check(v)
+	return g.strength[v]
+}
+
+// Neighbors calls fn for every neighbour u of v with the edge weight.
+// The self-loop, if any, is reported once with its stored weight.
+// Iteration order is unspecified; use SortedNeighbors when determinism
+// matters.
+func (g *Graph) Neighbors(v int, fn func(u int, w float64)) {
+	g.check(v)
+	for u, w := range g.adj[v] {
+		fn(u, w)
+	}
+}
+
+// SortedNeighbors returns the neighbours of v in ascending vertex order.
+func (g *Graph) SortedNeighbors(v int) []Edge {
+	g.check(v)
+	out := make([]Edge, 0, len(g.adj[v]))
+	for u, w := range g.adj[v] {
+		out = append(out, Edge{U: v, V: u, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out
+}
+
+// Edges returns all edges with U <= V, sorted by (U, V). The slice is
+// freshly allocated.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if v >= u {
+				out = append(out, Edge{U: u, V: v, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// EdgeCount returns the number of distinct edges (self-loops included).
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if v >= u {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	copy(c.labels, g.labels)
+	copy(c.strength, g.strength)
+	for u := 0; u < g.n; u++ {
+		if g.adj[u] == nil {
+			continue
+		}
+		c.adj[u] = make(map[int]float64, len(g.adj[u]))
+		for v, w := range g.adj[u] {
+			c.adj[u][v] = w
+		}
+	}
+	c.total = g.total
+	return c
+}
+
+// TopFraction returns a copy of the graph keeping only the strongest
+// fraction of edges by weight (0 < frac <= 1). The paper renders layouts
+// with the top 50% of edges; the tomography pipeline can also use this to
+// denoise sparse measurements. Vertices are preserved.
+func (g *Graph) TopFraction(frac float64) *Graph {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("graph: TopFraction fraction %g out of (0,1]", frac))
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight > edges[j].Weight })
+	keep := int(float64(len(edges))*frac + 0.5)
+	if keep > len(edges) {
+		keep = len(edges)
+	}
+	out := New(g.n)
+	copy(out.labels, g.labels)
+	for _, e := range edges[:keep] {
+		out.AddWeight(e.U, e.V, e.Weight)
+	}
+	return out
+}
+
+// Scale returns a copy with every edge weight multiplied by k (k > 0).
+// Dividing aggregated fragment counts by the iteration count (Eq. 2) is a
+// Scale(1/n).
+func (g *Graph) Scale(k float64) *Graph {
+	if k <= 0 {
+		panic("graph: Scale factor must be positive")
+	}
+	out := New(g.n)
+	copy(out.labels, g.labels)
+	for _, e := range g.Edges() {
+		out.AddWeight(e.U, e.V, e.Weight*k)
+	}
+	return out
+}
+
+// ConnectedComponents returns a partition of vertices into connected
+// components (isolated vertices are singleton components), as a slice of
+// component ids indexed by vertex.
+func (g *Graph) ConnectedComponents() []int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := range g.adj[v] {
+				if comp[u] == -1 {
+					comp[u] = next
+					stack = append(stack, u)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddWeightAccumulates(t *testing.T) {
+	g := New(3)
+	g.AddWeight(0, 1, 2)
+	g.AddWeight(1, 0, 3) // order-insensitive
+	if w := g.Weight(0, 1); w != 5 {
+		t.Fatalf("Weight(0,1) = %g, want 5", w)
+	}
+	if w := g.Weight(1, 0); w != 5 {
+		t.Fatalf("Weight(1,0) = %g, want 5", w)
+	}
+	if g.TotalWeight() != 5 {
+		t.Fatalf("TotalWeight = %g, want 5", g.TotalWeight())
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddWeight(1, 1, 4)
+	if w := g.Weight(1, 1); w != 4 {
+		t.Fatalf("self-loop weight = %g, want 4", w)
+	}
+	if s := g.Strength(1); s != 8 {
+		t.Fatalf("Strength with self-loop = %g, want 8 (counted twice)", s)
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+}
+
+func TestStrengthAndDegree(t *testing.T) {
+	g := New(4)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(0, 2, 2.5)
+	g.AddWeight(0, 3, 0.5)
+	if d := g.Degree(0); d != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", d)
+	}
+	if s := g.Strength(0); s != 4 {
+		t.Fatalf("Strength(0) = %g, want 4", s)
+	}
+	if s := g.Strength(2); s != 2.5 {
+		t.Fatalf("Strength(2) = %g, want 2.5", s)
+	}
+}
+
+func TestZeroingEdgeRemovesIt(t *testing.T) {
+	g := New(2)
+	g.AddWeight(0, 1, 3)
+	g.AddWeight(0, 1, -3)
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge should be removed when weight reaches zero")
+	}
+	if g.EdgeCount() != 0 {
+		t.Fatalf("EdgeCount = %d, want 0", g.EdgeCount())
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative accumulated weight")
+		}
+	}()
+	g := New(2)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(0, 1, -2)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range vertex")
+		}
+	}()
+	New(2).AddWeight(0, 2, 1)
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddWeight(3, 1, 1)
+	g.AddWeight(2, 0, 1)
+	g.AddWeight(1, 0, 1)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("len(Edges) = %d, want 3", len(es))
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	for i, e := range es {
+		if e.U != want[i][0] || e.V != want[i][1] {
+			t.Fatalf("Edges()[%d] = (%d,%d), want %v", i, e.U, e.V, want[i])
+		}
+		if e.U > e.V {
+			t.Fatalf("edge (%d,%d) not normalised U<=V", e.U, e.V)
+		}
+	}
+}
+
+func TestSortedNeighbors(t *testing.T) {
+	g := New(5)
+	g.AddWeight(2, 4, 1)
+	g.AddWeight(2, 0, 2)
+	g.AddWeight(2, 3, 3)
+	ns := g.SortedNeighbors(2)
+	if len(ns) != 3 || ns[0].V != 0 || ns[1].V != 3 || ns[2].V != 4 {
+		t.Fatalf("SortedNeighbors(2) = %v", ns)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.SetLabel(0, "a")
+	g.AddWeight(0, 1, 2)
+	c := g.Clone()
+	c.AddWeight(0, 1, 5)
+	c.AddWeight(1, 2, 1)
+	if g.Weight(0, 1) != 2 {
+		t.Fatal("mutating clone changed original")
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("clone edge leaked into original")
+	}
+	if c.Label(0) != "a" {
+		t.Fatal("clone lost label")
+	}
+}
+
+func TestTopFraction(t *testing.T) {
+	g := New(5)
+	g.AddWeight(0, 1, 10)
+	g.AddWeight(1, 2, 8)
+	g.AddWeight(2, 3, 2)
+	g.AddWeight(3, 4, 1)
+	top := g.TopFraction(0.5)
+	if top.EdgeCount() != 2 {
+		t.Fatalf("TopFraction(0.5) kept %d edges, want 2", top.EdgeCount())
+	}
+	if !top.HasEdge(0, 1) || !top.HasEdge(1, 2) {
+		t.Fatal("TopFraction kept the wrong edges")
+	}
+	if top.N() != g.N() {
+		t.Fatal("TopFraction must preserve vertex count")
+	}
+}
+
+func TestScale(t *testing.T) {
+	g := New(3)
+	g.AddWeight(0, 1, 6)
+	g.AddWeight(1, 2, 3)
+	s := g.Scale(1.0 / 3.0)
+	if w := s.Weight(0, 1); math.Abs(w-2) > 1e-12 {
+		t.Fatalf("scaled weight = %g, want 2", w)
+	}
+	if w := s.Weight(1, 2); math.Abs(w-1) > 1e-12 {
+		t.Fatalf("scaled weight = %g, want 1", w)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 1)
+	g.AddWeight(3, 4, 1)
+	comp := g.ConnectedComponents()
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("vertices 0,1,2 should share a component: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Fatalf("vertices 3,4 should share a component: %v", comp)
+	}
+	if comp[0] == comp[3] || comp[0] == comp[5] || comp[3] == comp[5] {
+		t.Fatalf("components should be distinct: %v", comp)
+	}
+}
+
+// Property: total weight equals the sum over Edges(), and Strength sums to
+// 2*TotalWeight (handshake lemma, self-loops counted twice).
+func TestHandshakeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 64)
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < m; i++ {
+			g.AddWeight(rng.Intn(n), rng.Intn(n), rng.Float64()*10)
+		}
+		var sumEdges, sumStrength float64
+		for _, e := range g.Edges() {
+			sumEdges += e.Weight
+		}
+		for v := 0; v < n; v++ {
+			sumStrength += g.Strength(v)
+		}
+		return math.Abs(sumEdges-g.TotalWeight()) < 1e-9 &&
+			math.Abs(sumStrength-2*g.TotalWeight()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is observationally identical.
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 1
+		g := New(n)
+		for i := 0; i < 30; i++ {
+			g.AddWeight(rng.Intn(n), rng.Intn(n), float64(rng.Intn(5)+1))
+		}
+		c := g.Clone()
+		if c.N() != g.N() || c.EdgeCount() != g.EdgeCount() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.Weight(u, v) != c.Weight(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

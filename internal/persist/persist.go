@@ -1,0 +1,169 @@
+// Package persist serialises measurement graphs and tomography results to
+// JSON, so a measurement campaign can be archived, shipped, re-clustered
+// offline, or compared across runs without re-measuring — the workflow a
+// real deployment of the paper's method needs (measurement is cheap but
+// not free; analysis is reusable).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// GraphDoc is the JSON form of a measurement graph.
+type GraphDoc struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// N is the vertex count.
+	N int `json:"n"`
+	// Labels are the vertex display names.
+	Labels []string `json:"labels"`
+	// Edges hold [u, v, weight] triples with u <= v.
+	Edges [][3]float64 `json:"edges"`
+}
+
+const formatVersion = 1
+
+// EncodeGraph converts a graph to its document form.
+func EncodeGraph(g *graph.Graph) *GraphDoc {
+	doc := &GraphDoc{Version: formatVersion, N: g.N()}
+	for v := 0; v < g.N(); v++ {
+		doc.Labels = append(doc.Labels, g.Label(v))
+	}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, [3]float64{float64(e.U), float64(e.V), e.Weight})
+	}
+	return doc
+}
+
+// DecodeGraph reconstructs a graph from its document form.
+func DecodeGraph(doc *GraphDoc) (*graph.Graph, error) {
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("persist: unsupported graph version %d", doc.Version)
+	}
+	if doc.N < 0 || len(doc.Labels) != doc.N {
+		return nil, fmt.Errorf("persist: %d labels for %d vertices", len(doc.Labels), doc.N)
+	}
+	g := graph.New(doc.N)
+	for v, l := range doc.Labels {
+		g.SetLabel(v, l)
+	}
+	for i, e := range doc.Edges {
+		u, v, w := int(e[0]), int(e[1]), e[2]
+		if u < 0 || u >= doc.N || v < 0 || v >= doc.N {
+			return nil, fmt.Errorf("persist: edge %d endpoints (%d,%d) out of range", i, u, v)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("persist: edge %d has invalid weight %v", i, w)
+		}
+		if w > 0 {
+			g.AddWeight(u, v, w)
+		}
+	}
+	return g, nil
+}
+
+// WriteGraph writes a graph as JSON.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeGraph(g))
+}
+
+// ReadGraph reads a graph from JSON.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	var doc GraphDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return DecodeGraph(&doc)
+}
+
+// SaveGraph writes a graph to a file.
+func SaveGraph(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteGraph(f, g)
+}
+
+// LoadGraph reads a graph from a file.
+func LoadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// ResultDoc is the JSON form of a tomography outcome summary: the final
+// clustering, its quality, and the convergence series.
+type ResultDoc struct {
+	Version   int       `json:"version"`
+	Dataset   string    `json:"dataset,omitempty"`
+	N         int       `json:"n"`
+	Labels    []int     `json:"labels"`
+	Q         float64   `json:"q"`
+	NMI       *float64  `json:"nmi,omitempty"` // nil when no ground truth
+	NMISeries []float64 `json:"nmi_series,omitempty"`
+	SimTime   float64   `json:"sim_time_seconds"`
+}
+
+// EncodeResult builds a ResultDoc from clustering output. Pass NaN as nmi
+// when no ground truth was available.
+func EncodeResult(dataset string, p cluster.Partition, q, nmiV, simTime float64, series []float64) *ResultDoc {
+	doc := &ResultDoc{
+		Version: formatVersion,
+		Dataset: dataset,
+		N:       p.N(),
+		Labels:  append([]int(nil), p.Labels...),
+		Q:       q,
+		SimTime: simTime,
+	}
+	if !math.IsNaN(nmiV) {
+		v := nmiV
+		doc.NMI = &v
+	}
+	for _, s := range series {
+		if !math.IsNaN(s) {
+			doc.NMISeries = append(doc.NMISeries, s)
+		}
+	}
+	return doc
+}
+
+// Partition reconstructs the cluster assignment.
+func (d *ResultDoc) Partition() (cluster.Partition, error) {
+	if d.Version != formatVersion {
+		return cluster.Partition{}, fmt.Errorf("persist: unsupported result version %d", d.Version)
+	}
+	if len(d.Labels) != d.N {
+		return cluster.Partition{}, fmt.Errorf("persist: %d labels for %d nodes", len(d.Labels), d.N)
+	}
+	return cluster.NewPartition(d.Labels), nil
+}
+
+// WriteResult writes a result document as JSON.
+func WriteResult(w io.Writer, doc *ResultDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadResult reads a result document from JSON.
+func ReadResult(r io.Reader) (*ResultDoc, error) {
+	var doc ResultDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,174 @@
+package persist
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+func sample() *graph.Graph {
+	g := graph.New(5)
+	g.SetLabel(0, "bordeplage-0")
+	g.SetLabel(1, "bordeplage-1")
+	g.AddWeight(0, 1, 727.5)
+	g.AddWeight(1, 2, 198)
+	g.AddWeight(3, 4, 0.25)
+	g.AddWeight(2, 2, 3) // self-loop survives round-trip
+	return g
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := sample()
+	var sb strings.Builder
+	if err := WriteGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.N(), back.EdgeCount(), g.N(), g.EdgeCount())
+	}
+	for u := 0; u < g.N(); u++ {
+		if back.Label(u) != g.Label(u) {
+			t.Fatalf("label %d changed: %q vs %q", u, back.Label(u), g.Label(u))
+		}
+		for v := u; v < g.N(); v++ {
+			if back.Weight(u, v) != g.Weight(u, v) {
+				t.Fatalf("weight (%d,%d) changed: %g vs %g", u, v, back.Weight(u, v), g.Weight(u, v))
+			}
+		}
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "measurement.json")
+	if err := SaveGraph(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalWeight() != sample().TotalWeight() {
+		t.Fatal("file round trip changed total weight")
+	}
+}
+
+func TestDecodeRejectsCorruptDocs(t *testing.T) {
+	cases := []GraphDoc{
+		{Version: 99, N: 1, Labels: []string{"a"}},
+		{Version: 1, N: 2, Labels: []string{"a"}},
+		{Version: 1, N: 2, Labels: []string{"a", "b"}, Edges: [][3]float64{{0, 5, 1}}},
+		{Version: 1, N: 2, Labels: []string{"a", "b"}, Edges: [][3]float64{{0, 1, -4}}},
+		{Version: 1, N: 2, Labels: []string{"a", "b"}, Edges: [][3]float64{{0, 1, math.Inf(1)}}},
+	}
+	for i := range cases {
+		if _, err := DecodeGraph(&cases[i]); err == nil {
+			t.Errorf("corrupt doc %d accepted", i)
+		}
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	if _, err := ReadGraph(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	p := cluster.NewPartition([]int{0, 0, 1, 1, 2})
+	doc := EncodeResult("GT", p, 0.28, 1.0, 123.4, []float64{0.3, 0.7, 1.0})
+	var sb strings.Builder
+	if err := WriteResult(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResult(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != "GT" || back.Q != 0.28 || back.SimTime != 123.4 {
+		t.Fatalf("metadata changed: %+v", back)
+	}
+	if back.NMI == nil || *back.NMI != 1.0 {
+		t.Fatal("NMI lost")
+	}
+	if len(back.NMISeries) != 3 {
+		t.Fatalf("series length %d, want 3", len(back.NMISeries))
+	}
+	bp, err := back.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bp.Equal(p) {
+		t.Fatal("partition changed in round trip")
+	}
+}
+
+func TestResultWithoutTruthOmitsNMI(t *testing.T) {
+	p := cluster.NewPartition([]int{0, 1})
+	doc := EncodeResult("", p, 0.1, math.NaN(), 1, nil)
+	if doc.NMI != nil {
+		t.Fatal("NaN NMI should be omitted")
+	}
+	var sb strings.Builder
+	if err := WriteResult(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "nmi\"") {
+		t.Fatalf("serialised NMI despite no truth: %s", sb.String())
+	}
+}
+
+func TestResultPartitionValidation(t *testing.T) {
+	doc := &ResultDoc{Version: 1, N: 3, Labels: []int{0, 1}}
+	if _, err := doc.Partition(); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	doc = &ResultDoc{Version: 2, N: 1, Labels: []int{0}}
+	if _, err := doc.Partition(); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// Property: any random graph survives a round trip bit-exactly.
+func TestGraphRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		g := graph.New(n)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			g.AddWeight(u, v, float64(rng.Intn(1000))+rng.Float64())
+		}
+		var sb strings.Builder
+		if err := WriteGraph(&sb, g); err != nil {
+			return false
+		}
+		back, err := ReadGraph(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.N() != g.N() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u; v < n; v++ {
+				if back.Weight(u, v) != g.Weight(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

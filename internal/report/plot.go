@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders one or more (x, y) series as an ASCII chart — enough to
+// eyeball the Fig. 13 NMI-vs-iterations curves in a terminal. Each series
+// is drawn with its own glyph; later series overwrite earlier ones where
+// they collide.
+type Plot struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int // plot area columns (default 60)
+	Height     int // plot area rows (default 16)
+	YMin, YMax float64
+	series     []plotSeries
+}
+
+type plotSeries struct {
+	name  string
+	glyph byte
+	xs    []float64
+	ys    []float64
+}
+
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; glyphs are assigned in order.
+func (p *Plot) Add(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("report: series length mismatch")
+	}
+	p.series = append(p.series, plotSeries{
+		name:  name,
+		glyph: plotGlyphs[len(p.series)%len(plotGlyphs)],
+		xs:    append([]float64(nil), xs...),
+		ys:    append([]float64(nil), ys...),
+	})
+}
+
+// Write renders the chart.
+func (p *Plot) Write(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := p.YMin, p.YMax
+	autoY := yMin == 0 && yMax == 0
+	if autoY {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			xMin = math.Min(xMin, s.xs[i])
+			xMax = math.Max(xMax, s.xs[i])
+			if autoY {
+				yMin = math.Min(yMin, s.ys[i])
+				yMax = math.Max(yMax, s.ys[i])
+			}
+		}
+	}
+	if len(p.series) == 0 || math.IsInf(xMin, 1) {
+		_, err := fmt.Fprintln(w, "(empty plot)")
+		return err
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - xMin) / (xMax - xMin) * float64(width-1))
+			row := int((s.ys[i] - yMin) / (yMax - yMin) * float64(height-1))
+			row = height - 1 - row // origin at bottom-left
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = s.glyph
+			}
+		}
+	}
+
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", p.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", yMin)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "        %-8.4g%*s\n", xMin, width-7, fmt.Sprintf("%.4g", xMax))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(w, "        (x: %s, y: %s)\n", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.glyph, s.name))
+	}
+	_, err := fmt.Fprintln(w, "        "+strings.Join(legend, "  "))
+	return err
+}
+
+// String renders the chart to a string.
+func (p *Plot) String() string {
+	var sb strings.Builder
+	_ = p.Write(&sb)
+	return sb.String()
+}

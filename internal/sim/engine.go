@@ -1,0 +1,190 @@
+// Package sim provides the discrete-event simulation core used by all
+// network substrates in this repository: a virtual clock, a cancellable
+// event queue, and deterministic named random-number streams.
+//
+// The engine is single-threaded by design. Simulated time is a float64 in
+// seconds; events scheduled for the same instant fire in scheduling order,
+// which keeps runs bit-for-bit reproducible for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it before it fires.
+type Event struct {
+	time    float64
+	seq     uint64
+	fn      func()
+	index   int // position in the heap, -1 once removed
+	stopped bool
+}
+
+// Time reports the simulated time at which the event will fire (or would
+// have fired, if cancelled).
+func (e *Event) Time() float64 { return e.time }
+
+// Stopped reports whether the event has been cancelled.
+func (e *Event) Stopped() bool { return e.stopped }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far. It is useful for
+// instrumentation and complexity experiments.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay seconds of simulated time. A negative delay
+// is treated as zero (fire as soon as possible, after already-queued events
+// for the current instant). The returned Event may be cancelled with Cancel.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	if math.IsNaN(delay) {
+		panic("sim: Schedule called with NaN delay")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{time: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute simulated time t. Times in the past are
+// clamped to the current instant.
+func (e *Engine) ScheduleAt(t float64, fn func()) *Event {
+	return e.Schedule(t-e.now, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.stopped || ev.index < 0 {
+		if ev != nil {
+			ev.stopped = true
+		}
+		return
+	}
+	ev.stopped = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Halt stops the current Run/RunUntil loop after the event being executed
+// returns. Pending events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.stopped {
+			continue
+		}
+		if ev.time < e.now {
+			panic(fmt.Sprintf("sim: event scheduled at %g fired at %g (clock went backwards)", ev.time, e.now))
+		}
+		e.now = ev.time
+		ev.stopped = true
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called. It returns
+// the final simulated time.
+func (e *Engine) Run() float64 {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is later than the last event). Events after
+// the deadline stay queued.
+func (e *Engine) RunUntil(deadline float64) float64 {
+	e.halted = false
+	for !e.halted {
+		next, ok := e.peekTime()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+func (e *Engine) peekTime() (float64, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].time, true
+	}
+	return 0, false
+}
+
+// eventHeap is a min-heap ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-7, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Stopped() {
+		t.Fatal("cancelled event not marked stopped")
+	}
+	// Double cancel is a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.Schedule(float64(i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[5])
+	e.Cancel(evs[13])
+	e.Run()
+	for _, v := range got {
+		if v == 5 || v == 13 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 18 {
+		t.Fatalf("fired %d events, want 18", len(got))
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	e.Schedule(1, func() {
+		got = append(got, e.Now())
+		e.Schedule(2, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %g, want 42", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 4 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("executed %d events before halt, want 4", count)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("halt should leave events pending")
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.Schedule(2, func() {
+		e.ScheduleAt(7, func() { at = e.Now() })
+		e.ScheduleAt(1, func() {}) // past: clamped to now
+	})
+	e.Run()
+	if at != 7 {
+		t.Fatalf("ScheduleAt fired at %g, want 7", at)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil fn")
+		}
+	}()
+	NewEngine().Schedule(1, nil)
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock ends at the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []float64
+		for _, r := range raw {
+			d := float64(r) / 16.0
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return e.Now() == fired[len(fired)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never fires those events and fires
+// all others exactly once.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		count := int(n%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		fired := make([]int, count)
+		evs := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			evs[i] = e.Schedule(rng.Float64()*100, func() { fired[i]++ })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < count/2; i++ {
+			k := rng.Intn(count)
+			cancelled[k] = true
+			e.Cancel(evs[k])
+		}
+		e.Run()
+		for i := 0; i < count; i++ {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Stream("bittorrent/choke")
+	b := NewRNG(42).Stream("bittorrent/choke")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed+label produced different streams")
+		}
+	}
+}
+
+func TestRNGStreamIndependence(t *testing.T) {
+	r := NewRNG(42)
+	a := r.Stream("alpha")
+	b := r.Stream("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different labels look correlated: %d/64 equal draws", same)
+	}
+}
+
+func TestRNGStreamfDistinct(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		v := r.Streamf("iter", i).Int63()
+		if seen[v] {
+			t.Fatalf("Streamf collision at iteration %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1).Stream("x").Int63()
+	b := NewRNG(2).Stream("x").Int63()
+	if a == b {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := NewRNG(3).Perm("order", 100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

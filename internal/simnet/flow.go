@@ -1,0 +1,338 @@
+package simnet
+
+import (
+	"math"
+)
+
+// completionEps is the base residual byte count below which a flow is
+// treated as finished. The effective threshold is relative to flow size
+// (completionEps + 1e-9*size): repeated progress updates accumulate
+// floating-point drift proportional to the bytes moved, and an absolute
+// epsilon would strand multi-gigabyte flows a few micro-bytes short of
+// completion, wedging the completion event in an infinitesimal loop.
+const completionEps = 1e-6
+
+// Flow is an in-flight fluid transfer between two hosts.
+type Flow struct {
+	id        int
+	src, dst  int
+	size      float64
+	remaining float64
+	eps       float64 // completion threshold for this flow
+	rate      float64
+	cap       float64 // per-flow cap from the path (0 = none)
+	path      []*channel
+	done      func()
+	started   float64 // time the flow became active (after latency)
+	slot      int     // index in Network.flows, -1 when inactive
+	active    bool
+	cancelled bool
+
+	// solver scratch
+	fixed bool
+}
+
+// Src returns the source host id.
+func (f *Flow) Src() int { return f.src }
+
+// Dst returns the destination host id.
+func (f *Flow) Dst() int { return f.dst }
+
+// Size returns the flow's total byte size.
+func (f *Flow) Size() float64 { return f.size }
+
+// Rate returns the most recently allocated rate in bytes/s. It is only
+// meaningful after the allocation following the flow's activation; callers
+// inside the simulation should read it from a scheduled event, not at
+// StartFlow time.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet transferred as of the last
+// allocation point.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// StartFlow begins a transfer of size bytes from host src to host dst and
+// invokes done (if non-nil) when the last byte arrives. The flow becomes
+// active after the one-way path latency. It returns the flow handle, which
+// may be cancelled.
+func (n *Network) StartFlow(src, dst int, size float64, done func()) *Flow {
+	return n.StartFlowRateLimited(src, dst, size, 0, done)
+}
+
+// StartFlowRateLimited is StartFlow with an additional per-flow rate cap
+// in bytes/s (0 means uncapped). The effective cap is the minimum of this
+// value and any per-flow caps on the links of the path. Protocols use it
+// to model sender-side windowing: a transfer whose sender keeps w bytes
+// outstanding on a path with round-trip time rtt cannot exceed w/rtt
+// regardless of link capacity.
+func (n *Network) StartFlowRateLimited(src, dst int, size, rateCap float64, done func()) *Flow {
+	if !n.verts[src].isHost || !n.verts[dst].isHost {
+		panic("simnet: flows must connect hosts")
+	}
+	if size <= 0 {
+		panic("simnet: flow size must be positive")
+	}
+	if rateCap < 0 {
+		panic("simnet: negative rate cap")
+	}
+	p := n.path(src, dst)
+	f := &Flow{
+		id:        n.nextFlow,
+		src:       src,
+		dst:       dst,
+		size:      size,
+		remaining: size,
+		eps:       completionEps + 1e-9*size,
+		path:      p,
+		done:      done,
+	}
+	n.nextFlow++
+	var lat float64
+	capPF := rateCap
+	for _, c := range p {
+		lat += c.latency
+		if c.perFlowCap > 0 && (capPF == 0 || c.perFlowCap < capPF) {
+			capPF = c.perFlowCap
+		}
+	}
+	f.cap = capPF
+	f.slot = -1
+	n.eng.Schedule(lat, func() {
+		if f.cancelled {
+			return
+		}
+		n.advance()
+		f.active = true
+		f.started = n.eng.Now()
+		f.slot = len(n.flows)
+		n.flows = append(n.flows, f)
+		n.markDirty()
+	})
+	return f
+}
+
+// CancelFlow aborts a flow. Its done callback will not run. Cancelling a
+// finished or already-cancelled flow is a no-op.
+func (n *Network) CancelFlow(f *Flow) {
+	if f == nil || f.cancelled {
+		return
+	}
+	f.cancelled = true
+	if f.active {
+		n.advance()
+		n.removeFlow(f)
+		n.markDirty()
+	}
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// removeFlow drops f from the active set with a swap-remove.
+func (n *Network) removeFlow(f *Flow) {
+	last := len(n.flows) - 1
+	moved := n.flows[last]
+	n.flows[f.slot] = moved
+	moved.slot = f.slot
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	f.slot = -1
+	f.active = false
+}
+
+// advance accrues progress on all active flows from the last allocation
+// point to now, using the current rates.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastSolve
+	if dt <= 0 {
+		n.lastSolve = now
+		return
+	}
+	for _, f := range n.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, c := range f.path {
+			c.carried += moved
+		}
+	}
+	n.lastSolve = now
+}
+
+// markDirty schedules a single re-allocation for the current instant, so
+// any number of flow starts/finishes at one timestamp cost one solve.
+func (n *Network) markDirty() {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	n.resolveEv = n.eng.Schedule(0, n.resolve)
+}
+
+func (n *Network) resolve() {
+	n.dirty = false
+	n.advance()
+	n.solve()
+	n.scheduleCompletion()
+}
+
+// solve computes the max-min fair allocation via progressive filling with
+// per-flow caps: all unfixed flows rise at the same rate; the first
+// constraint to bind (a saturated channel or a flow's cap) fixes the flows
+// it governs; repeat.
+func (n *Network) solve() {
+	n.solves++
+	// Build per-channel flow lists.
+	chans := n.chanScratch[:0]
+	for _, f := range n.flows {
+		f.fixed = false
+		f.rate = 0
+		for _, c := range f.path {
+			if len(c.flows) == 0 {
+				chans = append(chans, c)
+			}
+			c.flows = append(c.flows, f)
+		}
+	}
+	for _, c := range chans {
+		c.nUnfixed = len(c.flows)
+		c.usedFixed = 0
+	}
+	unfixed := len(n.flows)
+	level := 0.0
+	for unfixed > 0 {
+		// Next binding constraint above the current fill level.
+		delta := math.Inf(1)
+		for _, c := range chans {
+			if c.nUnfixed == 0 {
+				continue
+			}
+			d := (c.capacity - c.usedFixed - level*float64(c.nUnfixed)) / float64(c.nUnfixed)
+			if d < delta {
+				delta = d
+			}
+		}
+		for _, f := range n.flows {
+			if f.fixed || f.cap == 0 {
+				continue
+			}
+			if d := f.cap - level; d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// No constraints at all (cannot happen with finite
+			// capacities, but guard against an empty channel set).
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		level += delta
+		// Fix flows at binding constraints. A small epsilon absorbs
+		// float error when several constraints bind together.
+		const eps = 1e-9
+		progressed := false
+		for _, f := range n.flows {
+			if f.fixed {
+				continue
+			}
+			bind := f.cap != 0 && f.cap-level <= eps*(1+level)
+			if !bind {
+				for _, c := range f.path {
+					room := c.capacity - c.usedFixed - level*float64(c.nUnfixed)
+					if room <= eps*(1+c.capacity) {
+						bind = true
+						break
+					}
+				}
+			}
+			if bind {
+				f.fixed = true
+				f.rate = level
+				progressed = true
+				unfixed--
+				for _, c := range f.path {
+					c.nUnfixed--
+					c.usedFixed += level
+				}
+			}
+		}
+		if !progressed {
+			// Numerical stall: fix everything at the current level.
+			for _, f := range n.flows {
+				if !f.fixed {
+					f.fixed = true
+					f.rate = level
+					unfixed--
+				}
+			}
+		}
+	}
+	for _, c := range chans {
+		c.flows = c.flows[:0]
+	}
+	n.chanScratch = chans[:0]
+}
+
+// scheduleCompletion (re)arms the single completion event at the earliest
+// flow finish time under current rates.
+func (n *Network) scheduleCompletion() {
+	if n.complEv != nil {
+		n.eng.Cancel(n.complEv)
+		n.complEv = nil
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := (f.remaining - f.eps/2) / f.rate
+		if t < 0 {
+			t = 0
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	n.complEv = n.eng.Schedule(next, n.completions)
+}
+
+func (n *Network) completions() {
+	n.complEv = nil
+	n.advance()
+	// Clock-granularity slack: when the simulated clock is large, event
+	// times quantise to its float64 ulp, so a flow can be up to
+	// rate*ulp(now) bytes short of its nominal completion no matter how
+	// precisely the event was scheduled. Without this slack the
+	// completion event would re-arm at sub-ulp deltas and starve forever.
+	now := n.eng.Now()
+	ulp := math.Nextafter(now, math.Inf(1)) - now
+	var finished []*Flow
+	for _, f := range n.flows {
+		if f.remaining <= f.eps+4*f.rate*ulp {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic callback order.
+	for i := 1; i < len(finished); i++ {
+		for j := i; j > 0 && finished[j-1].id > finished[j].id; j-- {
+			finished[j-1], finished[j] = finished[j], finished[j-1]
+		}
+	}
+	for _, f := range finished {
+		n.removeFlow(f)
+	}
+	n.markDirty()
+	for _, f := range finished {
+		if f.done != nil {
+			f.done()
+		}
+	}
+}

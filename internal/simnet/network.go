@@ -1,0 +1,299 @@
+// Package simnet is a discrete-event fluid network simulator. It stands in
+// for the physical Grid'5000 testbed used by the paper.
+//
+// The model: a network is a graph of hosts and switches joined by
+// full-duplex links. A transfer is a fluid flow of a given byte size along
+// the (hop-count) shortest path between two hosts. Whenever the set of
+// active flows changes, link bandwidth is re-allocated with progressive
+// filling, which yields the max-min fair allocation — the standard fluid
+// approximation of many concurrent TCP streams, and the same model family
+// used by SimGrid, on which the related tomography work evaluated.
+//
+// Two refinements matter for reproducing the paper:
+//
+//   - Each directed link channel has a capacity (aggregate bytes/s), so a
+//     1 GbE inter-switch bottleneck saturates under collective traffic
+//     exactly as in §IV-B of the paper.
+//   - A link may also carry a per-flow rate cap, modelling the observation
+//     that a single stream across the Renater WAN tops out below the local
+//     Ethernet rate (787 vs 890 Mbit/s, §IV-A) even though the backbone
+//     aggregate is 10 Gbit/s.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Mbps converts megabits per second to the simulator's native bytes per
+// second.
+func Mbps(v float64) float64 { return v * 1e6 / 8 }
+
+// Gbps converts gigabits per second to bytes per second.
+func Gbps(v float64) float64 { return v * 1e9 / 8 }
+
+// ToMbps converts bytes per second back to megabits per second.
+func ToMbps(bytesPerSec float64) float64 { return bytesPerSec * 8 / 1e6 }
+
+// LinkSpec describes one full-duplex link.
+type LinkSpec struct {
+	// Capacity is the usable bandwidth of each direction in bytes/s.
+	// Protocol efficiency is folded in: a 1 GbE link that delivers
+	// 890 Mbit/s of application payload should be declared as Mbps(890).
+	Capacity float64
+	// Latency is the one-way propagation delay in seconds. It is paid
+	// once per flow, at start.
+	Latency float64
+	// PerFlowCap, when non-zero, limits the rate of every individual
+	// flow crossing the link, independent of the aggregate capacity.
+	PerFlowCap float64
+}
+
+// channel is one direction of a link.
+type channel struct {
+	from, to   int
+	capacity   float64
+	latency    float64
+	perFlowCap float64
+
+	carried float64 // total bytes carried, for utilisation reports
+
+	// solver scratch state
+	nUnfixed  int
+	usedFixed float64
+	flows     []*Flow
+}
+
+type vertex struct {
+	name   string
+	isHost bool
+	chans  []*channel // outgoing
+}
+
+// Network is a simulated network bound to a sim.Engine.
+type Network struct {
+	eng   *sim.Engine
+	verts []vertex
+
+	flows     []*Flow
+	nextFlow  int
+	lastSolve float64
+	dirty     bool
+	resolveEv *sim.Event
+	complEv   *sim.Event
+
+	routeCache  map[int][]int32 // src -> prev-vertex array from BFS
+	chanScratch []*channel
+	solves      uint64
+}
+
+// New returns an empty network using the given engine for time.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:        eng,
+		routeCache: make(map[int][]int32),
+	}
+}
+
+// Engine returns the simulation engine the network is bound to.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Solves returns the number of bandwidth re-allocations performed, an
+// instrumentation hook for the complexity experiments.
+func (n *Network) Solves() uint64 { return n.solves }
+
+// AddHost adds a host vertex and returns its id. Hosts are valid flow
+// endpoints.
+func (n *Network) AddHost(name string) int {
+	n.verts = append(n.verts, vertex{name: name, isHost: true})
+	n.routeCache = make(map[int][]int32)
+	return len(n.verts) - 1
+}
+
+// AddSwitch adds a switch vertex and returns its id. Switches forward
+// flows but cannot terminate them.
+func (n *Network) AddSwitch(name string) int {
+	n.verts = append(n.verts, vertex{name: name})
+	n.routeCache = make(map[int][]int32)
+	return len(n.verts) - 1
+}
+
+// NumVertices returns the total number of hosts and switches.
+func (n *Network) NumVertices() int { return len(n.verts) }
+
+// Name returns the name of vertex v.
+func (n *Network) Name(v int) string { return n.verts[v].name }
+
+// IsHost reports whether vertex v is a host.
+func (n *Network) IsHost(v int) bool { return n.verts[v].isHost }
+
+// Connect joins vertices a and b with a full-duplex link.
+func (n *Network) Connect(a, b int, spec LinkSpec) {
+	if a == b {
+		panic("simnet: cannot connect a vertex to itself")
+	}
+	n.checkVert(a)
+	n.checkVert(b)
+	if spec.Capacity <= 0 {
+		panic(fmt.Sprintf("simnet: link %s-%s needs positive capacity", n.verts[a].name, n.verts[b].name))
+	}
+	if spec.Latency < 0 || spec.PerFlowCap < 0 {
+		panic("simnet: negative latency or per-flow cap")
+	}
+	ab := &channel{from: a, to: b, capacity: spec.Capacity, latency: spec.Latency, perFlowCap: spec.PerFlowCap}
+	ba := &channel{from: b, to: a, capacity: spec.Capacity, latency: spec.Latency, perFlowCap: spec.PerFlowCap}
+	n.verts[a].chans = append(n.verts[a].chans, ab)
+	n.verts[b].chans = append(n.verts[b].chans, ba)
+	n.routeCache = make(map[int][]int32)
+}
+
+func (n *Network) checkVert(v int) {
+	if v < 0 || v >= len(n.verts) {
+		panic(fmt.Sprintf("simnet: vertex %d out of range", v))
+	}
+}
+
+// path returns the channel sequence of the hop-count shortest path from
+// src to dst, computing and caching a BFS tree per source. Ties are broken
+// deterministically by vertex insertion order.
+func (n *Network) path(src, dst int) []*channel {
+	n.checkVert(src)
+	n.checkVert(dst)
+	if src == dst {
+		panic("simnet: flow endpoints must differ")
+	}
+	prev, ok := n.routeCache[src]
+	if !ok {
+		prev = n.bfs(src)
+		n.routeCache[src] = prev
+	}
+	if prev[dst] == -1 {
+		panic(fmt.Sprintf("simnet: no route from %s to %s", n.verts[src].name, n.verts[dst].name))
+	}
+	// Walk dst -> src, then reverse.
+	var rev []*channel
+	at := dst
+	for at != src {
+		p := int(prev[at])
+		var ch *channel
+		for _, c := range n.verts[p].chans {
+			if c.to == at {
+				ch = c
+				break
+			}
+		}
+		if ch == nil {
+			panic("simnet: route cache inconsistent with topology")
+		}
+		rev = append(rev, ch)
+		at = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (n *Network) bfs(src int) []int32 {
+	prev := make([]int32, len(n.verts))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = int32(src)
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range n.verts[v].chans {
+			if prev[c.to] == -1 {
+				prev[c.to] = int32(v)
+				queue = append(queue, c.to)
+			}
+		}
+	}
+	prev[src] = -1 // no predecessor for the root itself
+	return prev
+}
+
+// PathInfo describes the static properties of the route between two hosts.
+type PathInfo struct {
+	Hops     int
+	Latency  float64 // one-way, seconds
+	Capacity float64 // single-flow bottleneck bytes/s (per-flow caps applied)
+}
+
+// Path returns static route information between two hosts. Capacity is
+// what one lone flow would achieve: the minimum over the path of link
+// capacity and per-flow cap. This is the simulator's ground-truth
+// point-to-point bandwidth, the quantity NetPIPE measures in the paper.
+func (n *Network) Path(src, dst int) PathInfo {
+	chans := n.path(src, dst)
+	info := PathInfo{Hops: len(chans), Capacity: math.Inf(1)}
+	for _, c := range chans {
+		info.Latency += c.latency
+		cap := c.capacity
+		if c.perFlowCap > 0 && c.perFlowCap < cap {
+			cap = c.perFlowCap
+		}
+		if cap < info.Capacity {
+			info.Capacity = cap
+		}
+	}
+	return info
+}
+
+// SetLinkCapacity changes the capacity (both directions) of the link
+// between a and b while the simulation runs, re-allocating all active
+// flows immediately. It models dynamically altering underlying topology —
+// overlay networks, virtual machines migrating, hardware degradation —
+// which the paper names as a natural fit for this tomography method (§V).
+// It panics if no such link exists or the capacity is not positive.
+func (n *Network) SetLinkCapacity(a, b int, capacity float64) {
+	n.checkVert(a)
+	n.checkVert(b)
+	if capacity <= 0 {
+		panic("simnet: link capacity must be positive")
+	}
+	found := false
+	for _, c := range n.verts[a].chans {
+		if c.to == b {
+			c.capacity = capacity
+			found = true
+		}
+	}
+	for _, c := range n.verts[b].chans {
+		if c.to == a {
+			c.capacity = capacity
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("simnet: no link between %s and %s", n.verts[a].name, n.verts[b].name))
+	}
+	// Accrue progress under the old rates, then re-solve.
+	n.advance()
+	n.markDirty()
+}
+
+// FindVertex returns the id of the vertex with the given name, or -1.
+func (n *Network) FindVertex(name string) int {
+	for i, v := range n.verts {
+		if v.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// LinkUtilization reports total bytes carried per directed channel, keyed
+// by "from->to" vertex names.
+func (n *Network) LinkUtilization() map[string]float64 {
+	out := make(map[string]float64)
+	for _, v := range n.verts {
+		for _, c := range v.chans {
+			out[n.verts[c.from].name+"->"+n.verts[c.to].name] = c.carried
+		}
+	}
+	return out
+}

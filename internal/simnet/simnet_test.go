@@ -1,0 +1,561 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// pair builds two hosts joined by one link.
+func pair(t *testing.T, spec LinkSpec) (*sim.Engine, *Network, int, int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, spec)
+	return eng, n, a, b
+}
+
+func TestSingleFlowCompletionTime(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100, Latency: 0.5})
+	var doneAt float64 = -1
+	n.StartFlow(a, b, 1000, func() { doneAt = eng.Now() })
+	eng.Run()
+	// 0.5s latency + 1000B / 100B/s = 10.5s.
+	if math.Abs(doneAt-10.5) > 1e-6 {
+		t.Fatalf("flow finished at %g, want 10.5", doneAt)
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	var t1, t2 float64
+	n.StartFlow(a, b, 1000, func() { t1 = eng.Now() })
+	n.StartFlow(a, b, 1000, func() { t2 = eng.Now() })
+	eng.Run()
+	// Each gets 50 B/s: both finish at 20s.
+	if math.Abs(t1-20) > 1e-6 || math.Abs(t2-20) > 1e-6 {
+		t.Fatalf("flows finished at %g, %g, want 20, 20", t1, t2)
+	}
+}
+
+func TestOppositeDirectionsDoNotShare(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	var t1, t2 float64
+	n.StartFlow(a, b, 1000, func() { t1 = eng.Now() })
+	n.StartFlow(b, a, 1000, func() { t2 = eng.Now() })
+	eng.Run()
+	// Full duplex: each direction has its own 100 B/s.
+	if math.Abs(t1-10) > 1e-6 || math.Abs(t2-10) > 1e-6 {
+		t.Fatalf("flows finished at %g, %g, want 10, 10", t1, t2)
+	}
+}
+
+func TestRateReallocatedWhenFlowFinishes(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	var tShort, tLong float64
+	n.StartFlow(a, b, 500, func() { tShort = eng.Now() })
+	n.StartFlow(a, b, 1500, func() { tLong = eng.Now() })
+	eng.Run()
+	// Shared 50/50 until the short one finishes at t=10 (500B at 50B/s).
+	// The long one then has 1000B left at 100B/s: finishes at t=20.
+	if math.Abs(tShort-10) > 1e-6 {
+		t.Fatalf("short flow finished at %g, want 10", tShort)
+	}
+	if math.Abs(tLong-20) > 1e-6 {
+		t.Fatalf("long flow finished at %g, want 20", tLong)
+	}
+}
+
+// Dumbbell: two hosts per side, 1 shared middle link of capacity 100,
+// access links of capacity 1000.
+func dumbbell(accessCap, coreCap float64) (*sim.Engine, *Network, [4]int) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	var hosts [4]int
+	s1 := n.AddSwitch("s1")
+	s2 := n.AddSwitch("s2")
+	for i := 0; i < 2; i++ {
+		hosts[i] = n.AddHost("l" + string(rune('0'+i)))
+		n.Connect(hosts[i], s1, LinkSpec{Capacity: accessCap})
+	}
+	for i := 2; i < 4; i++ {
+		hosts[i] = n.AddHost("r" + string(rune('0'+i)))
+		n.Connect(hosts[i], s2, LinkSpec{Capacity: accessCap})
+	}
+	n.Connect(s1, s2, LinkSpec{Capacity: coreCap})
+	return eng, n, hosts
+}
+
+func TestBottleneckSharedAcrossPairs(t *testing.T) {
+	eng, n, h := dumbbell(1000, 100)
+	var t1, t2 float64
+	n.StartFlow(h[0], h[2], 500, func() { t1 = eng.Now() })
+	n.StartFlow(h[1], h[3], 500, func() { t2 = eng.Now() })
+	eng.Run()
+	// Both flows cross the 100 B/s core: 50 B/s each -> 10s.
+	if math.Abs(t1-10) > 1e-6 || math.Abs(t2-10) > 1e-6 {
+		t.Fatalf("finished at %g, %g, want 10, 10", t1, t2)
+	}
+}
+
+func TestMaxMinUnevenAllocation(t *testing.T) {
+	// One flow constrained to 10 by its access link, another sharing the
+	// core: max-min gives the unconstrained flow the leftovers.
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	c := n.AddHost("c")
+	s := n.AddSwitch("s")
+	d := n.AddHost("d")
+	n.Connect(a, s, LinkSpec{Capacity: 10}) // slow access
+	n.Connect(b, s, LinkSpec{Capacity: 1000})
+	n.Connect(c, s, LinkSpec{Capacity: 1000})
+	n.Connect(s, d, LinkSpec{Capacity: 100}) // shared core to d
+	var rates []float64
+	n.StartFlow(a, d, 1e9, nil)
+	n.StartFlow(b, d, 1e9, nil)
+	probe := n.StartFlow(c, d, 1e9, nil)
+	_ = probe
+	eng.Schedule(0.001, func() {
+		for _, f := range n.flows {
+			rates = append(rates, f.rate)
+		}
+		eng.Halt()
+	})
+	eng.Run()
+	if len(rates) != 3 {
+		t.Fatalf("expected 3 active flows, got %d", len(rates))
+	}
+	// Max-min on core 100 with one flow capped at 10: {10, 45, 45}.
+	var got []float64
+	got = append(got, rates...)
+	for i := 1; i < len(got); i++ {
+		for j := i; j > 0 && got[j-1] > got[j]; j-- {
+			got[j-1], got[j] = got[j], got[j-1]
+		}
+	}
+	want := []float64{10, 45, 45}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("max-min rates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPerFlowCap(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 1000, PerFlowCap: 100})
+	var t1 float64
+	n.StartFlow(a, b, 1000, func() { t1 = eng.Now() })
+	eng.Run()
+	if math.Abs(t1-10) > 1e-6 {
+		t.Fatalf("capped flow finished at %g, want 10", t1)
+	}
+	// Several capped flows can still use the aggregate capacity.
+	eng2 := sim.NewEngine()
+	n2 := New(eng2)
+	a2 := n2.AddHost("a")
+	b2 := n2.AddHost("b")
+	n2.Connect(a2, b2, LinkSpec{Capacity: 1000, PerFlowCap: 100})
+	var finished int
+	for i := 0; i < 5; i++ {
+		n2.StartFlow(a2, b2, 1000, func() { finished++ })
+	}
+	end := eng2.Run()
+	if finished != 5 {
+		t.Fatalf("finished %d flows, want 5", finished)
+	}
+	// 5 flows at 100 each fit in 1000 aggregate: all done at t=10.
+	if math.Abs(end-10) > 1e-6 {
+		t.Fatalf("all capped flows finished at %g, want 10", end)
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	done := false
+	f := n.StartFlow(a, b, 1000, func() { done = true })
+	eng.Schedule(2, func() { n.CancelFlow(f) })
+	eng.Run()
+	if done {
+		t.Fatal("cancelled flow invoked its callback")
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after cancel, want 0", n.ActiveFlows())
+	}
+}
+
+func TestCancelBeforeActivation(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100, Latency: 5})
+	done := false
+	f := n.StartFlow(a, b, 1000, func() { done = true })
+	n.CancelFlow(f) // still in latency phase
+	eng.Run()
+	if done || n.ActiveFlows() != 0 {
+		t.Fatal("flow cancelled during latency phase still ran")
+	}
+}
+
+func TestCancelFreesBandwidth(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	var tLong float64
+	f := n.StartFlow(a, b, 1e6, nil)
+	n.StartFlow(a, b, 1000, func() { tLong = eng.Now() })
+	eng.Schedule(5, func() { n.CancelFlow(f) })
+	eng.Run()
+	// Shares 50/50 for 5s (250B moved), then full 100 B/s for 750B: 12.5s.
+	if math.Abs(tLong-12.5) > 1e-6 {
+		t.Fatalf("flow finished at %g, want 12.5", tLong)
+	}
+}
+
+func TestPathInfo(t *testing.T) {
+	eng := sim.NewEngine()
+	_ = eng
+	n := New(eng)
+	a := n.AddHost("a")
+	s1 := n.AddSwitch("s1")
+	s2 := n.AddSwitch("s2")
+	b := n.AddHost("b")
+	n.Connect(a, s1, LinkSpec{Capacity: 1000, Latency: 0.001})
+	n.Connect(s1, s2, LinkSpec{Capacity: 200, Latency: 0.01, PerFlowCap: 150})
+	n.Connect(s2, b, LinkSpec{Capacity: 1000, Latency: 0.001})
+	info := n.Path(a, b)
+	if info.Hops != 3 {
+		t.Fatalf("Hops = %d, want 3", info.Hops)
+	}
+	if math.Abs(info.Latency-0.012) > 1e-9 {
+		t.Fatalf("Latency = %g, want 0.012", info.Latency)
+	}
+	if info.Capacity != 150 {
+		t.Fatalf("Capacity = %g, want 150 (per-flow cap binds)", info.Capacity)
+	}
+}
+
+func TestNoRoutePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b") // not connected
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unroutable flow")
+		}
+	}()
+	n.StartFlow(a, b, 1, nil)
+}
+
+func TestFlowToSelfPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for self flow")
+		}
+	}()
+	n.StartFlow(a, a, 1, nil)
+}
+
+func TestSwitchEndpointPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	s := n.AddSwitch("s")
+	n.Connect(a, s, LinkSpec{Capacity: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for switch endpoint")
+		}
+	}()
+	n.StartFlow(a, s, 1, nil)
+}
+
+func TestLinkUtilization(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	_ = a
+	_ = b
+	n.StartFlow(0, 1, 1000, nil)
+	eng.Run()
+	util := n.LinkUtilization()
+	if math.Abs(util["a->b"]-1000) > 1e-4 {
+		t.Fatalf("a->b carried %g bytes, want 1000", util["a->b"])
+	}
+	if util["b->a"] != 0 {
+		t.Fatalf("b->a carried %g bytes, want 0", util["b->a"])
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if Mbps(8) != 1e6 {
+		t.Fatalf("Mbps(8) = %g, want 1e6 B/s", Mbps(8))
+	}
+	if Gbps(1) != 1.25e8 {
+		t.Fatalf("Gbps(1) = %g, want 1.25e8 B/s", Gbps(1))
+	}
+	if ToMbps(Mbps(890)) != 890 {
+		t.Fatalf("round trip ToMbps(Mbps(890)) = %g", ToMbps(Mbps(890)))
+	}
+}
+
+// Property: all bytes are conserved — every flow finishes, and finish
+// times are no earlier than size/pathCapacity.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		n := New(eng)
+		nh := rng.Intn(6) + 2
+		s := n.AddSwitch("s")
+		hosts := make([]int, nh)
+		for i := range hosts {
+			hosts[i] = n.AddHost("h")
+			n.Connect(hosts[i], s, LinkSpec{Capacity: float64(rng.Intn(900) + 100)})
+		}
+		type rec struct {
+			size, minTime float64
+			done          bool
+			at            float64
+		}
+		var recs []*rec
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			src := hosts[rng.Intn(nh)]
+			dst := hosts[rng.Intn(nh)]
+			if src == dst {
+				continue
+			}
+			size := float64(rng.Intn(10000) + 1)
+			r := &rec{size: size, minTime: size / n.Path(src, dst).Capacity}
+			recs = append(recs, r)
+			n.StartFlow(src, dst, size, func() { r.done = true; r.at = eng.Now() })
+		}
+		eng.Run()
+		for _, r := range recs {
+			if !r.done {
+				return false
+			}
+			if r.at < r.minTime-1e-6 {
+				return false // finished faster than physics allows
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at any allocation, per-channel rate sums never exceed capacity
+// and every flow with a cap respects it.
+func TestCapacityRespectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		n := New(eng)
+		s1 := n.AddSwitch("s1")
+		s2 := n.AddSwitch("s2")
+		core := float64(rng.Intn(500) + 50)
+		n.Connect(s1, s2, LinkSpec{Capacity: core, PerFlowCap: float64(rng.Intn(100) + 10)})
+		var hosts []int
+		for i := 0; i < 6; i++ {
+			h := n.AddHost("h")
+			hosts = append(hosts, h)
+			if i < 3 {
+				n.Connect(h, s1, LinkSpec{Capacity: float64(rng.Intn(900) + 100)})
+			} else {
+				n.Connect(h, s2, LinkSpec{Capacity: float64(rng.Intn(900) + 100)})
+			}
+		}
+		for i := 0; i < 12; i++ {
+			src := hosts[rng.Intn(3)]
+			dst := hosts[3+rng.Intn(3)]
+			n.StartFlow(src, dst, float64(rng.Intn(5000)+500), nil)
+		}
+		ok := true
+		eng.Schedule(0.01, func() {
+			sums := map[*channel]float64{}
+			for _, fl := range n.flows {
+				if fl.cap > 0 && fl.rate > fl.cap+1e-6 {
+					ok = false
+				}
+				for _, c := range fl.path {
+					sums[c] += fl.rate
+				}
+			}
+			for c, s := range sums {
+				if s > c.capacity+1e-6 {
+					ok = false
+				}
+			}
+			eng.Halt()
+		})
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		eng := sim.NewEngine()
+		n := New(eng)
+		s := n.AddSwitch("s")
+		var hosts []int
+		for i := 0; i < 5; i++ {
+			h := n.AddHost("h")
+			hosts = append(hosts, h)
+			n.Connect(h, s, LinkSpec{Capacity: 100})
+		}
+		var times []float64
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 25; i++ {
+			src := hosts[rng.Intn(5)]
+			dst := hosts[(rng.Intn(4)+1+src)%5]
+			if src == dst {
+				continue
+			}
+			n.StartFlow(src, dst, float64(rng.Intn(900)+100), func() {
+				times = append(times, eng.Now())
+			})
+		}
+		eng.Run()
+		return times
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at completion %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCompletionAtLargeSimulatedTime(t *testing.T) {
+	// Regression: with the clock at 1e9 seconds, event times quantise to
+	// ~0.12 µs, so a fast flow's final micro-bytes cannot be delivered by
+	// scheduling alone — the completion check must absorb the clock
+	// granularity or the flow starves in an infinite sub-ulp reschedule
+	// loop (observed after long measurement campaigns on one engine).
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	eng.RunUntil(1e9)
+	done := false
+	n.StartFlow(a, b, 1024, func() { done = true })
+	for i := 0; i < 100000 && !done; i++ {
+		if !eng.Step() {
+			break
+		}
+	}
+	if !done {
+		t.Fatal("1 KiB flow never completed at large simulated time")
+	}
+}
+
+func TestManySequentialFlowsOnAgedEngine(t *testing.T) {
+	// Drive hundreds of small flows on an engine whose clock has grown
+	// large; every one must complete in a bounded number of events.
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	eng.RunUntil(5e8)
+	for k := 0; k < 500; k++ {
+		done := false
+		n.StartFlow(a, b, float64(1024+k*7), func() { done = true })
+		for i := 0; i < 10000 && !done; i++ {
+			if !eng.Step() {
+				break
+			}
+		}
+		if !done {
+			t.Fatalf("flow %d starved on aged engine", k)
+		}
+	}
+}
+
+func TestRoutingShortestHops(t *testing.T) {
+	// Chain a-s1-s2-s3-b plus a shortcut a-s3: the route must take the
+	// shortcut (2 hops to b via s3, not 4).
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	s1 := n.AddSwitch("s1")
+	s2 := n.AddSwitch("s2")
+	s3 := n.AddSwitch("s3")
+	n.Connect(a, s1, LinkSpec{Capacity: 100, Latency: 0.001})
+	n.Connect(s1, s2, LinkSpec{Capacity: 100, Latency: 0.001})
+	n.Connect(s2, s3, LinkSpec{Capacity: 100, Latency: 0.001})
+	n.Connect(s3, b, LinkSpec{Capacity: 100, Latency: 0.001})
+	n.Connect(a, s3, LinkSpec{Capacity: 50, Latency: 0.001})
+	info := n.Path(a, b)
+	if info.Hops != 2 {
+		t.Fatalf("route uses %d hops, want 2 via the shortcut", info.Hops)
+	}
+	if info.Capacity != 50 {
+		t.Fatalf("shortcut path capacity = %g, want 50", info.Capacity)
+	}
+}
+
+func TestRouteCacheInvalidatedByTopologyChange(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	s1 := n.AddSwitch("s1")
+	s2 := n.AddSwitch("s2")
+	b := n.AddHost("b")
+	n.Connect(a, s1, LinkSpec{Capacity: 100})
+	n.Connect(s1, s2, LinkSpec{Capacity: 100})
+	n.Connect(s2, b, LinkSpec{Capacity: 100})
+	if got := n.Path(a, b).Hops; got != 3 {
+		t.Fatalf("initial hops = %d, want 3", got)
+	}
+	// Adding a direct link must invalidate the cached BFS tree.
+	n.Connect(a, b, LinkSpec{Capacity: 10})
+	if got := n.Path(a, b).Hops; got != 1 {
+		t.Fatalf("hops after new link = %d, want 1", got)
+	}
+}
+
+func TestPathLatencyAdditiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		n := New(eng)
+		// A chain of 2-6 switches between two hosts.
+		k := rng.Intn(5) + 1
+		a := n.AddHost("a")
+		prev := a
+		total := 0.0
+		for i := 0; i < k; i++ {
+			sw := n.AddSwitch("s")
+			lat := rng.Float64() * 0.01
+			total += lat
+			n.Connect(prev, sw, LinkSpec{Capacity: 100, Latency: lat})
+			prev = sw
+		}
+		b := n.AddHost("b")
+		lat := rng.Float64() * 0.01
+		total += lat
+		n.Connect(prev, b, LinkSpec{Capacity: 100, Latency: lat})
+		info := n.Path(a, b)
+		return info.Hops == k+1 && math.Abs(info.Latency-total) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

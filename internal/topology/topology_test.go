@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func countLabels(truth []int) map[int]int {
+	m := map[int]int{}
+	for _, l := range truth {
+		m[l]++
+	}
+	return m
+}
+
+func TestBComposition(t *testing.T) {
+	d := B()
+	if d.N() != 64 {
+		t.Fatalf("B has %d hosts, want 64", d.N())
+	}
+	labels := countLabels(d.GroundTruth)
+	if len(labels) != 2 {
+		t.Fatalf("B ground truth has %d clusters, want 2", len(labels))
+	}
+	if labels[0] != 32 || labels[1] != 32 {
+		t.Fatalf("B cluster sizes = %v, want 32 Bordeplage + 32 Bordereau/Borderline", labels)
+	}
+}
+
+func TestBTCompositionHasThreePartTruth(t *testing.T) {
+	d := BT()
+	if d.N() != 64 {
+		t.Fatalf("BT has %d hosts, want 64", d.N())
+	}
+	labels := countLabels(d.GroundTruth)
+	if len(labels) != 3 {
+		t.Fatalf("BT ground truth has %d partitions, want 3 (hierarchical truth of §IV-C)", len(labels))
+	}
+	if labels[2] != 32 {
+		t.Fatalf("BT Toulouse partition has %d nodes, want 32", labels[2])
+	}
+}
+
+func TestSiteDatasets(t *testing.T) {
+	cases := []struct {
+		d        *Dataset
+		n, parts int
+	}{
+		{TwoByTwo(), 4, 1},
+		{GT(), 64, 2},
+		{BGT(), 96, 3},
+		{BGTL(), 64, 4},
+	}
+	for _, c := range cases {
+		if c.d.N() != c.n {
+			t.Errorf("%s: %d hosts, want %d", c.d.Name, c.d.N(), c.n)
+		}
+		if got := len(countLabels(c.d.GroundTruth)); got != c.parts {
+			t.Errorf("%s: %d ground-truth parts, want %d", c.d.Name, got, c.parts)
+		}
+	}
+}
+
+func TestIntraClusterBandwidthMatchesNetPIPE(t *testing.T) {
+	d := B()
+	// Two Bordeplage nodes (same cluster switch).
+	info := d.Net.Path(d.Hosts[0], d.Hosts[1])
+	if got := simnet.ToMbps(info.Capacity); math.Abs(got-890) > 1e-9 {
+		t.Fatalf("intra-cluster single-flow bandwidth = %g Mbps, want 890", got)
+	}
+}
+
+func TestInterSiteBandwidthMatchesNetPIPE(t *testing.T) {
+	d := GT()
+	// Grenoble host 0, Toulouse host 32.
+	info := d.Net.Path(d.Hosts[0], d.Hosts[32])
+	if got := simnet.ToMbps(info.Capacity); math.Abs(got-787) > 1e-9 {
+		t.Fatalf("inter-site single-flow bandwidth = %g Mbps, want 787 (Renater per-flow)", got)
+	}
+	if info.Latency < 5e-3 {
+		t.Fatalf("inter-site latency = %g, want >= 5ms (two WAN hops)", info.Latency)
+	}
+}
+
+func TestBordeauxBottleneckOnPath(t *testing.T) {
+	d := B()
+	// Bordeplage (index 0) to Bordereau (index 32): crosses Dell-Cisco.
+	// A single flow still gets the full 890 (the bottleneck only binds
+	// under concurrent load, as the paper stresses).
+	info := d.Net.Path(d.Hosts[0], d.Hosts[32])
+	if got := simnet.ToMbps(info.Capacity); math.Abs(got-890) > 1e-9 {
+		t.Fatalf("cross-bottleneck single-flow bandwidth = %g Mbps, want 890", got)
+	}
+	// But under many concurrent cross flows the per-flow share collapses
+	// while intra-cluster flows keep their full rate.
+	var crossDone, intraDone int
+	for i := 0; i < 16; i++ {
+		d.Net.StartFlow(d.Hosts[i], d.Hosts[32+i], 1e6, func() { crossDone++ })
+	}
+	d.Net.StartFlow(d.Hosts[20], d.Hosts[21], 1e6, func() { intraDone++ })
+	var intraT, lastCrossT float64
+	d.Eng.Schedule(0, func() {})
+	end := d.Eng.Run()
+	lastCrossT = end
+	_ = intraT
+	if crossDone != 16 || intraDone != 1 {
+		t.Fatalf("flows incomplete: cross=%d intra=%d", crossDone, intraDone)
+	}
+	// 16 MB total across an 890 Mbit/s (111 MB/s) link: at least 0.14s;
+	// the intra flow alone would take ~9ms.
+	if lastCrossT < 0.14 {
+		t.Fatalf("cross traffic finished in %gs, too fast for a shared 1 GbE bottleneck", lastCrossT)
+	}
+}
+
+func TestTwoByTwoBottleneckNotBinding(t *testing.T) {
+	d := TwoByTwo()
+	// 2 cross flows over 890 Mbps: each gets 445 Mbps — comparable to
+	// intra-pair rates, so no logical separation. Just verify the per-
+	// flow rate stays above half the intra rate.
+	var done int
+	d.Net.StartFlow(d.Hosts[0], d.Hosts[2], 1e6, func() { done++ })
+	d.Net.StartFlow(d.Hosts[1], d.Hosts[3], 1e6, func() { done++ })
+	end := d.Eng.Run()
+	if done != 2 {
+		t.Fatalf("flows incomplete: %d", done)
+	}
+	// Each flow: 1 MB at >= 445 Mbps (55.6 MB/s) => <= ~18ms.
+	if end > 0.02 {
+		t.Fatalf("2x2 cross flows took %gs; bottleneck should not bind", end)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Registry) != len(DatasetNames) {
+		t.Fatalf("registry has %d entries, names list %d", len(Registry), len(DatasetNames))
+	}
+	for _, name := range DatasetNames {
+		ctor, ok := Registry[name]
+		if !ok {
+			t.Fatalf("dataset %q missing from registry", name)
+		}
+		d := ctor()
+		if d.Name != name {
+			t.Errorf("registry[%q] builds dataset named %q", name, d.Name)
+		}
+		if len(d.GroundTruth) != d.N() {
+			t.Errorf("%s: truth length %d != host count %d", name, len(d.GroundTruth), d.N())
+		}
+	}
+}
+
+func TestAllPairsRoutable(t *testing.T) {
+	for _, name := range DatasetNames {
+		d := Registry[name]()
+		for i := 0; i < d.N(); i++ {
+			for j := i + 1; j < d.N(); j++ {
+				info := d.Net.Path(d.Hosts[i], d.Hosts[j])
+				if info.Capacity <= 0 {
+					t.Fatalf("%s: no usable path %d->%d", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatSites(t *testing.T) {
+	d := FlatSites(4, 32)
+	if d.N() != 128 {
+		t.Fatalf("FlatSites(4,32) has %d hosts, want 128", d.N())
+	}
+	if got := len(countLabels(d.GroundTruth)); got != 4 {
+		t.Fatalf("FlatSites(4,32) truth parts = %d, want 4", got)
+	}
+	single := FlatSites(1, 8)
+	if single.N() != 8 {
+		t.Fatalf("FlatSites(1,8) has %d hosts, want 8", single.N())
+	}
+	info := single.Net.Path(single.Hosts[0], single.Hosts[7])
+	if math.Abs(simnet.ToMbps(info.Capacity)-890) > 1e-9 {
+		t.Fatalf("single flat site bandwidth = %g Mbps, want 890", simnet.ToMbps(info.Capacity))
+	}
+}
+
+func TestHostNamesDescriptive(t *testing.T) {
+	d := B()
+	if d.HostName(0) != "bordeplage-0" {
+		t.Fatalf("first host name = %q, want bordeplage-0", d.HostName(0))
+	}
+	if d.HostName(63) != "borderline-4" {
+		t.Fatalf("last host name = %q, want borderline-4", d.HostName(63))
+	}
+}
+
+func TestRandomTopologyShape(t *testing.T) {
+	d := Random(RandomSpec{Sites: 3, MinNodes: 4, MaxNodes: 8, Seed: 1})
+	if d.N() < 12 || d.N() > 24 {
+		t.Fatalf("Random produced %d hosts, want 12..24", d.N())
+	}
+	if got := len(countLabels(d.GroundTruth)); got != 3 {
+		t.Fatalf("truth parts = %d, want 3 (no bottlenecked sites)", got)
+	}
+	// All pairs routable.
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			if d.Net.Path(d.Hosts[i], d.Hosts[j]).Capacity <= 0 {
+				t.Fatalf("pair %d-%d unroutable", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomTopologyWithBottlenecks(t *testing.T) {
+	d := Random(RandomSpec{Sites: 2, MinNodes: 8, MaxNodes: 8, Bottlenecks: 1, Seed: 2})
+	if got := len(countLabels(d.GroundTruth)); got != 3 {
+		t.Fatalf("truth parts = %d, want 3 (one split site + one flat)", got)
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a := Random(RandomSpec{Sites: 4, MinNodes: 3, MaxNodes: 9, Bottlenecks: 2, Seed: 7})
+	b := Random(RandomSpec{Sites: 4, MinNodes: 3, MaxNodes: 9, Bottlenecks: 2, Seed: 7})
+	if a.N() != b.N() {
+		t.Fatalf("same seed gave %d vs %d hosts", a.N(), b.N())
+	}
+	for i := range a.GroundTruth {
+		if a.GroundTruth[i] != b.GroundTruth[i] {
+			t.Fatal("same seed gave different ground truths")
+		}
+	}
+}

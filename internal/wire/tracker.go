@@ -1,0 +1,268 @@
+package wire
+
+// A minimal HTTP tracker, completing the deployment path: real swarms
+// bootstrap through an announce endpoint that hands each client a random
+// peer subset capped at 35 — the cap the paper identifies as a source of
+// incomplete per-run edge coverage (§II-C).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// TrackerMaxPeers is the mainline announce-response cap.
+const TrackerMaxPeers = 35
+
+// TrackerPeer is one entry of an announce response.
+type TrackerPeer struct {
+	PeerID string `json:"peer_id"`
+	Addr   string `json:"addr"`
+}
+
+// announceResponse is the tracker's JSON reply (a simplification of the
+// bencoded original; the peer-set semantics are what matters here).
+type announceResponse struct {
+	Interval int           `json:"interval"`
+	Peers    []TrackerPeer `json:"peers"`
+}
+
+// Tracker is an in-process HTTP tracker for one or more torrents.
+type Tracker struct {
+	mu     sync.Mutex
+	swarms map[string]map[string]string // infohash -> peerID -> addr
+	rng    *rand.Rand
+	srv    *http.Server
+	ln     net.Listener
+}
+
+// NewTracker starts a tracker listening on 127.0.0.1:0; Close shuts it
+// down.
+func NewTracker(seed int64) (*Tracker, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		swarms: make(map[string]map[string]string),
+		rng:    rand.New(rand.NewSource(seed)),
+		ln:     ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/announce", t.handleAnnounce)
+	t.srv = &http.Server{Handler: mux}
+	go t.srv.Serve(ln)
+	return t, nil
+}
+
+// URL returns the announce URL.
+func (t *Tracker) URL() string {
+	return fmt.Sprintf("http://%s/announce", t.ln.Addr())
+}
+
+// Close stops the tracker.
+func (t *Tracker) Close() error { return t.srv.Close() }
+
+// handleAnnounce registers the caller and returns a random peer subset.
+func (t *Tracker) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	infoHash := q.Get("info_hash")
+	peerID := q.Get("peer_id")
+	port := q.Get("port")
+	if infoHash == "" || peerID == "" || port == "" {
+		http.Error(w, "missing info_hash, peer_id or port", http.StatusBadRequest)
+		return
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = "127.0.0.1"
+	}
+	addr := net.JoinHostPort(host, port)
+
+	t.mu.Lock()
+	swarm, ok := t.swarms[infoHash]
+	if !ok {
+		swarm = make(map[string]string)
+		t.swarms[infoHash] = swarm
+	}
+	if q.Get("event") == "stopped" {
+		delete(swarm, peerID)
+	} else {
+		swarm[peerID] = addr
+	}
+	// Collect the other peers and sample up to the cap.
+	var peers []TrackerPeer
+	for id, a := range swarm {
+		if id != peerID {
+			peers = append(peers, TrackerPeer{PeerID: id, Addr: a})
+		}
+	}
+	t.rng.Shuffle(len(peers), func(a, b int) { peers[a], peers[b] = peers[b], peers[a] })
+	if len(peers) > TrackerMaxPeers {
+		peers = peers[:TrackerMaxPeers]
+	}
+	t.mu.Unlock()
+
+	// Deterministic order within the sample for easier testing.
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j-1].PeerID > peers[j].PeerID; j-- {
+			peers[j-1], peers[j] = peers[j], peers[j-1]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(announceResponse{Interval: 30, Peers: peers})
+}
+
+// Announce registers a client with the tracker and returns the peer set
+// it was handed.
+func Announce(trackerURL string, t Torrent, peerID [20]byte, port int, event string) ([]TrackerPeer, error) {
+	u, err := url.Parse(trackerURL)
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad tracker url: %w", err)
+	}
+	q := u.Query()
+	q.Set("info_hash", fmt.Sprintf("%x", t.InfoHash[:]))
+	q.Set("peer_id", string(peerID[:]))
+	q.Set("port", fmt.Sprint(port))
+	if event != "" {
+		q.Set("event", event)
+	}
+	u.RawQuery = q.Encode()
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wire: tracker returned %s", resp.Status)
+	}
+	var ar announceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return nil, fmt.Errorf("wire: tracker response: %w", err)
+	}
+	return ar.Peers, nil
+}
+
+// RunTrackedSwarm runs a broadcast like RunLoopbackSwarm but bootstraps
+// peer discovery through a real HTTP tracker instead of static full-mesh
+// wiring: each client announces, receives its (capped, random) peer set,
+// and dials those peers. With n <= TrackerMaxPeers+1 the resulting mesh
+// is complete; beyond that, coverage per run becomes partial — exactly
+// the §II-C effect.
+func RunTrackedSwarm(n, numPieces int, seed int64, timeout time.Duration) (*SwarmResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("wire: need at least 2 clients, have %d", n)
+	}
+	tracker, err := NewTracker(seed)
+	if err != nil {
+		return nil, err
+	}
+	defer tracker.Close()
+
+	var torrent Torrent
+	torrent.NumPieces = numPieces
+	copy(torrent.InfoHash[:], fmt.Sprintf("tracked-bcast-%06d", numPieces%1000000))
+
+	clients := make([]*Client, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		clients[i] = NewClient(torrent, i, i == 0, seed+int64(i)*104729)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			for {
+				conn, err := listeners[i].Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					if _, err := clients[i].AddConn(conn, false); err != nil {
+						conn.Close()
+					}
+				}()
+			}
+		}()
+	}
+
+	// Announce in index order; each client dials the peers the tracker
+	// handed it (connections are deduplicated by the dial direction:
+	// only dial peers that announced earlier, which we detect by index).
+	dialed := make(map[[2]int]bool)
+	for i := 0; i < n; i++ {
+		port := listeners[i].Addr().(*net.TCPAddr).Port
+		peers, err := Announce(tracker.URL(), torrent, clients[i].peerID, port, "started")
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range peers {
+			var pid [20]byte
+			copy(pid[:], p.PeerID)
+			j, err := peerIndexFromID(pid)
+			if err != nil {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if dialed[[2]int{a, b}] {
+				continue
+			}
+			dialed[[2]int{a, b}] = true
+			conn, err := net.Dial("tcp", p.Addr)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := clients[i].AddConn(conn, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, c := range clients {
+		go c.chokerLoop(stop)
+		c.rechoke()
+	}
+
+	start := time.Now()
+	deadline := time.After(timeout)
+	for i := 1; i < n; i++ {
+		select {
+		case <-clients[i].Done():
+		case <-deadline:
+			return nil, fmt.Errorf("wire: tracked client %d incomplete after %v", i, timeout)
+		}
+	}
+	res := &SwarmResult{N: n, Duration: time.Since(start)}
+	res.Fragments = make([][]int, n)
+	for i := 0; i < n; i++ {
+		res.Fragments[i] = make([]int, n)
+		for from, count := range clients[i].Counts() {
+			if from >= 0 && from < n {
+				res.Fragments[i][from] = count
+			}
+		}
+	}
+	return res, nil
+}

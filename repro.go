@@ -1,0 +1,115 @@
+// Package repro is a Go reproduction of "Efficient and reliable network
+// tomography in heterogeneous networks using BitTorrent broadcasts and
+// clustering algorithms" (Dichev, Reid, Lastovetsky — SC 2012,
+// arXiv:1205.1457).
+//
+// The method reconstructs the logical bandwidth clustering of a network —
+// which nodes are interconnected by high bandwidth, and where the
+// bottlenecks lie — from application-level measurements only:
+//
+//  1. Measurement: run a few synchronized, instrumented BitTorrent
+//     broadcasts of a large file and count, per node pair, the fragments
+//     exchanged. Data naturally prefers fast links, so the aggregated
+//     count w(e) is a bandwidth-correlated edge weight obtainable in
+//     roughly constant time regardless of the node count.
+//  2. Analysis: cluster the weighted measurement graph with Louvain
+//     modularity maximisation. Clusters are logical bandwidth clusters;
+//     cluster boundaries are bottlenecks.
+//
+// Because the original experiments ran on the Grid'5000 testbed, this
+// repository ships a discrete-event fluid network simulator together with
+// models of the paper's topologies (see DESIGN.md for the substitution
+// table). The same public API runs tomography on any simulated network.
+//
+// # Quick start
+//
+//	dataset, _ := repro.NewDataset("GT") // Grenoble+Toulouse, 64 nodes
+//	res, err := repro.Run(dataset, repro.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println(res.Partition)  // two clusters, one per site
+//	fmt.Println(res.NMI)        // 1.0 against the ground truth
+//
+// See the examples/ directory for complete programs, cmd/experiments for
+// the harness that regenerates every table and figure of the paper, and
+// EXPERIMENTS.md for measured-versus-paper results.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Options configures a tomography run; see core.Options for the fields.
+type Options = core.Options
+
+// Result is the outcome of a tomography run: the aggregated measurement
+// graph, the clustering, its modularity and NMI against ground truth, and
+// per-iteration convergence records.
+type Result = core.Result
+
+// IterationRecord is one measurement iteration's record within a Result.
+type IterationRecord = core.IterationRecord
+
+// Dataset is a simulated network with hosts and a ground-truth logical
+// clustering. The built-in datasets model the paper's Grid'5000 settings.
+type Dataset = topology.Dataset
+
+// DefaultOptions mirrors the paper's standard configuration: 30
+// iterations of a 239 MB broadcast in 16 KiB fragments, fixed root.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Datasets lists the built-in dataset names in the order the paper
+// presents them: 2x2, B, BT, GT, BGT, BGTL.
+func Datasets() []string {
+	return append([]string(nil), topology.DatasetNames...)
+}
+
+// NewDataset builds a named built-in dataset (fresh simulator state).
+func NewDataset(name string) (*Dataset, error) {
+	ctor, ok := topology.Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown dataset %q (have %v)", name, topology.DatasetNames)
+	}
+	return ctor(), nil
+}
+
+// Run performs BitTorrent tomography on a dataset and scores the found
+// clustering against the dataset's ground truth.
+func Run(d *Dataset, opts Options) (*Result, error) {
+	return core.RunDataset(d, opts)
+}
+
+// RunNamed is Run on a freshly built named dataset.
+func RunNamed(name string, opts Options) (*Result, error) {
+	d, err := NewDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(d, opts)
+}
+
+// HierarchyNode is one cluster of a hierarchical decomposition — the
+// multi-level extension sketched in the paper's Future Work (§V).
+type HierarchyNode = core.HierarchyNode
+
+// HierarchyOptions tunes the hierarchical decomposition.
+type HierarchyOptions = core.HierarchyOptions
+
+// DefaultHierarchyOptions returns the standard hierarchy configuration.
+func DefaultHierarchyOptions() HierarchyOptions { return core.DefaultHierarchyOptions() }
+
+// BuildHierarchy decomposes a tomography result's measurement graph into
+// multi-level logical clusters: the top level separates sites; deeper
+// levels recover intra-site structure (e.g. the Bordeaux sub-clusters the
+// flat BT clustering misses, §IV-C).
+func BuildHierarchy(res *Result, opts HierarchyOptions) *HierarchyNode {
+	return core.Hierarchy(res.Graph, opts)
+}
+
+// HierarchicalNMI scores a hierarchy against a flat ground truth using
+// all hierarchy levels as an overlapping cover (LFK NMI).
+func HierarchicalNMI(truth []int, h *HierarchyNode) float64 {
+	return core.HierarchicalNMI(truth, h)
+}

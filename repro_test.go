@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"testing"
+)
+
+func smallOptions(iters int) Options {
+	opts := DefaultOptions()
+	opts.Iterations = iters
+	opts.BT.FileBytes = 1000 * opts.BT.FragmentSize
+	return opts
+}
+
+func TestDatasetsList(t *testing.T) {
+	names := Datasets()
+	if len(names) != 6 {
+		t.Fatalf("Datasets() = %v, want 6 entries", names)
+	}
+	if names[0] != "2x2" || names[5] != "BGTL" {
+		t.Fatalf("dataset order = %v", names)
+	}
+	// The returned slice is a copy; mutating it must not corrupt the
+	// registry order.
+	names[0] = "corrupted"
+	if Datasets()[0] != "2x2" {
+		t.Fatal("Datasets() exposes internal state")
+	}
+}
+
+func TestNewDatasetUnknown(t *testing.T) {
+	if _, err := NewDataset("atlantis"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunNamedTwoByTwo(t *testing.T) {
+	res, err := RunNamed("2x2", smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition.NumClusters() != 1 {
+		t.Fatalf("2x2 clusters = %d, want 1", res.Partition.NumClusters())
+	}
+	if res.NMI < 0.99 {
+		t.Fatalf("2x2 NMI = %.3f, want 1", res.NMI)
+	}
+}
+
+func TestRunFreshDatasetTwice(t *testing.T) {
+	// Each NewDataset carries its own simulator; two runs are identical.
+	a, err := RunNamed("2x2", smallOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNamed("2x2", smallOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Q != b.Q || a.TotalMeasurementTime != b.TotalMeasurementTime {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestDefaultOptionsArePaperScale(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.BT.NumFragments() != 15259 {
+		t.Fatalf("default fragments = %d, want 15259 (239 MB / 16 KiB)", opts.BT.NumFragments())
+	}
+	if opts.Iterations != 30 {
+		t.Fatalf("default iterations = %d, want 30", opts.Iterations)
+	}
+}
+
+func TestFacadeMeasurementRoundTrip(t *testing.T) {
+	res, err := RunNamed("2x2", smallOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := SaveMeasurement(path, res.Graph); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMeasurement(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != res.Graph.N() || back.TotalWeight() != res.Graph.TotalWeight() {
+		t.Fatal("measurement changed in archive round trip")
+	}
+}
+
+func TestFacadeBottlenecks(t *testing.T) {
+	res, err := RunNamed("2x2", smallOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 finds a single cluster: no bottlenecks.
+	if bs := Bottlenecks(res); len(bs) != 0 {
+		t.Fatalf("2x2 reported %d bottlenecks, want 0", len(bs))
+	}
+}
+
+func TestFacadeCollectiveScheduling(t *testing.T) {
+	d, err := NewDataset("2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BroadcastBinomial([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteBroadcast(d, sched, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 || res.Transfers != 3 {
+		t.Fatalf("unexpected broadcast result %+v", res)
+	}
+	aware, err := BroadcastClusterAware([][]int{{0, 1}, {2, 3}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteBroadcast(d, aware, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	red, err := ReduceClusterAware([][]int{{0, 1}, {2, 3}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteReduce(d, red, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHierarchy(t *testing.T) {
+	res, err := RunNamed("2x2", smallOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := BuildHierarchy(res, DefaultHierarchyOptions())
+	if h == nil || len(h.Members) != 4 {
+		t.Fatal("hierarchy root malformed")
+	}
+	score := HierarchicalNMI([]int{0, 0, 0, 0}, h)
+	if score < 0 || score > 1 {
+		t.Fatalf("hierarchical NMI out of range: %g", score)
+	}
+}
