@@ -1,0 +1,38 @@
+# Tier-1 verification and the CI entry points. CI (.github/workflows/ci.yml)
+# runs the same targets, so a green `make ci` locally means a green PR.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race suite needs well over go test's default 10m on slow machines;
+# keep the timeout in lockstep with .github/workflows/ci.yml.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench-smoke runs every benchmark exactly once — a compile-and-execute
+# gate, not a timing run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 30m ./...
+
+# bench emits BENCH_parallel.json: sequential vs Workers=N wall-clock on
+# the BGTL workload, plus a determinism cross-check of the two results.
+bench:
+	$(GO) run ./cmd/benchparallel -workers 4 -iterations 8 -out BENCH_parallel.json
+
+ci: fmt-check vet build race bench-smoke bench

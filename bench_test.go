@@ -221,6 +221,39 @@ func BenchmarkE14Layout(b *testing.B) {
 	}
 }
 
+// --- parallel measurement benches ------------------------------------
+
+// benchParallelBGTL runs the E11-class BGTL workload (the paper's hardest
+// setting) with a given measurement fan-out. The Workers1/2/4 trio
+// measures the scaling of the parallel pipeline; results are bit-identical
+// across the trio, only wall-clock changes. `make bench` times the same
+// workload via cmd/benchparallel and emits BENCH_parallel.json.
+func benchParallelBGTL(b *testing.B, workers int) {
+	b.Helper()
+	var lastNMI float64
+	for i := 0; i < b.N; i++ {
+		opts := repro.DefaultOptions()
+		opts.Iterations = 8
+		opts.BT.FileBytes = int(float64(opts.BT.FileBytes) * benchScale)
+		opts.Workers = workers
+		res, err := repro.RunNamed("BGTL", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastNMI = res.NMI
+	}
+	b.ReportMetric(lastNMI, "nmi")
+}
+
+// BenchmarkParallelBGTLWorkers1 is the single-worker replica baseline.
+func BenchmarkParallelBGTLWorkers1(b *testing.B) { benchParallelBGTL(b, 1) }
+
+// BenchmarkParallelBGTLWorkers2 doubles the measurement fan-out.
+func BenchmarkParallelBGTLWorkers2(b *testing.B) { benchParallelBGTL(b, 2) }
+
+// BenchmarkParallelBGTLWorkers4 is the fan-out the CI bench smoke tracks.
+func BenchmarkParallelBGTLWorkers4(b *testing.B) { benchParallelBGTL(b, 4) }
+
 // --- substrate micro-benchmarks -------------------------------------
 
 // BenchmarkBroadcast64Nodes measures one instrumented broadcast on the GT

@@ -1,0 +1,153 @@
+// Command benchparallel times the tomography measurement phase
+// sequentially versus with a parallel worker pool on the same workload,
+// verifies the two produce identical results, and writes the comparison as
+// JSON — the BENCH_parallel.json artifact that seeds the repository's perf
+// trajectory (see `make bench` and the CI bench smoke job).
+//
+// Usage:
+//
+//	benchparallel                          # BGTL, 8 iterations, 5% payload
+//	benchparallel -workers 8 -scale 0.25   # heavier run
+//	benchparallel -out BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+// Report is the emitted JSON document.
+type Report struct {
+	Dataset    string  `json:"dataset"`
+	Hosts      int     `json:"hosts"`
+	Iterations int     `json:"iterations"`
+	Scale      float64 `json:"scale"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	// SequentialSeconds times Workers=1 (the replica-path baseline);
+	// ParallelSeconds times the requested worker count on the identical
+	// workload.
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	// Identical confirms the determinism contract held: same graph
+	// weights, partition and NMI from both runs.
+	Identical bool    `json:"identical"`
+	NMI       float64 `json:"nmi"`
+	SimSec    float64 `json:"simulated_seconds"`
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "BGTL", "built-in dataset to measure")
+		iters   = flag.Int("iterations", 8, "measurement iterations")
+		scale   = flag.Float64("scale", 0.05, "broadcast payload scale (1.0 = the paper's 239 MB)")
+		workers = flag.Int("workers", 4, "parallel worker count to compare against Workers=1")
+		out     = flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*dataset, *iters, *scale, *workers, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, iters int, scale float64, workers int, out string) error {
+	if workers < 2 {
+		return fmt.Errorf("need -workers >= 2 to compare against the single-worker baseline, got %d", workers)
+	}
+	opts := repro.DefaultOptions()
+	opts.Iterations = iters
+	opts.BT.FileBytes = int(float64(opts.BT.FileBytes) * scale)
+	if opts.BT.FileBytes < opts.BT.FragmentSize {
+		opts.BT.FileBytes = opts.BT.FragmentSize
+	}
+
+	time1, res1, err := timedRun(dataset, opts, 1)
+	if err != nil {
+		return err
+	}
+	timeN, resN, err := timedRun(dataset, opts, workers)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{
+		Dataset:           dataset,
+		Hosts:             res1.Graph.N(),
+		Iterations:        iters,
+		Scale:             scale,
+		Workers:           workers,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		SequentialSeconds: time1,
+		ParallelSeconds:   timeN,
+		Identical:         identical(res1, resN),
+		NMI:               resN.NMI,
+		SimSec:            resN.TotalMeasurementTime,
+	}
+	if timeN > 0 {
+		rep.Speedup = time1 / timeN
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d hosts, %d iterations at %.0f%% payload: %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
+			dataset, rep.Hosts, iters, scale*100, time1, timeN, workers, rep.Speedup, rep.Identical)
+		fmt.Println("wrote", out)
+	}
+	if !rep.Identical {
+		return fmt.Errorf("workers=%d result diverged from workers=1 — determinism contract broken", workers)
+	}
+	return nil
+}
+
+// timedRun measures one tomography run's wall-clock at the given fan-out.
+func timedRun(dataset string, opts repro.Options, workers int) (float64, *repro.Result, error) {
+	opts.Workers = workers
+	start := time.Now()
+	res, err := repro.RunNamed(dataset, opts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("workers=%d: %w", workers, err)
+	}
+	return time.Since(start).Seconds(), res, nil
+}
+
+// identical checks the determinism contract between two runs: identical
+// measurement graphs (edge-exact), partitions and scores.
+func identical(a, b *repro.Result) bool {
+	if a.Graph.N() != b.Graph.N() || a.NMI != b.NMI || a.Q != b.Q {
+		return false
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	for i := range a.Partition.Labels {
+		if a.Partition.Labels[i] != b.Partition.Labels[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -29,6 +29,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		rotate     = flag.Bool("rotate-root", false, "rotate the broadcast root across iterations")
+		workers    = flag.Int("workers", 0, "parallel measurement workers (0 = sequential; results are identical for any workers >= 1)")
 		fig13      = flag.Bool("fig13", false, "print the per-iteration NMI convergence series")
 		save       = flag.String("save", "", "write the aggregated measurement graph to this JSON file")
 		load       = flag.String("load", "", "skip measurement: cluster an archived measurement graph")
@@ -42,7 +43,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*dataset, *iterations, *scale, *seed, *rotate, *fig13, *save); err != nil {
+	if err := run(*dataset, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save); err != nil {
 		fmt.Fprintln(os.Stderr, "bttomo:", err)
 		os.Exit(1)
 	}
@@ -68,7 +69,7 @@ func runArchived(path string, seed int64) error {
 	return nil
 }
 
-func run(dataset string, iterations int, scale float64, seed int64, rotate, fig13 bool, save string) error {
+func run(dataset string, iterations int, scale float64, seed int64, workers int, rotate, fig13 bool, save string) error {
 	d, err := repro.NewDataset(dataset)
 	if err != nil {
 		return err
@@ -77,6 +78,7 @@ func run(dataset string, iterations int, scale float64, seed int64, rotate, fig1
 	opts.Iterations = iterations
 	opts.Seed = seed
 	opts.RotateRoot = rotate
+	opts.Workers = workers
 	if scale > 0 && scale != 1 {
 		opts.BT.FileBytes = int(float64(opts.BT.FileBytes) * scale)
 		if opts.BT.FileBytes < opts.BT.FragmentSize {
@@ -85,8 +87,12 @@ func run(dataset string, iterations int, scale float64, seed int64, rotate, fig1
 	}
 
 	fmt.Printf("dataset %s: %d hosts, ground truth: %s\n", d.Name, d.N(), d.TruthNote)
-	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes\n\n",
-		opts.Iterations, opts.BT.NumFragments(), opts.BT.FragmentSize)
+	par := "sequential"
+	if workers > 0 {
+		par = fmt.Sprintf("%d workers", workers)
+	}
+	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes (%s)\n\n",
+		opts.Iterations, opts.BT.NumFragments(), opts.BT.FragmentSize, par)
 
 	res, err := repro.Run(d, opts)
 	if err != nil {

@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
-		scale = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
-		iters = flag.Int("iterations", 0, "override iteration counts (0 = paper values)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "results", "directory for CSV/DOT/SVG artifacts (empty to skip)")
+		run     = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
+		scale   = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
+		iters   = flag.Int("iterations", 0, "override iteration counts (0 = paper values)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "results", "directory for CSV/DOT/SVG artifacts (empty to skip)")
+		workers = flag.Int("workers", 0, "parallel workers for measurements, dataset sweeps and the experiment fan-out (0/1 = sequential)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		Seed:       *seed,
 		Out:        os.Stdout,
 		DataDir:    *out,
+		Workers:    *workers,
 	})
 
 	start := time.Now()

@@ -4,6 +4,11 @@ package repro
 // the tomography pipeline: measurement archival and topology-aware
 // collective scheduling. Everything is a thin alias over the internal
 // packages so external importers of module "repro" can reach them.
+//
+// All entry points here operate on completed results and are agnostic to
+// how the measurement ran: a Result produced with Options.Workers > 1 is
+// bit-identical to a sequential one, so archived graphs, bottleneck
+// reports and collective schedules never depend on the worker count.
 
 import (
 	"repro/internal/collective"

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/bittorrent"
 	"repro/internal/cluster"
@@ -63,8 +64,30 @@ type Options struct {
 	// measurement — the "conditions of high load" the paper targets
 	// (§I). The method is expected to keep working: the background
 	// traffic depresses all links it crosses, while the relative
-	// intra/inter contrast survives.
+	// intra/inter contrast survives. Background traffic is stateful
+	// across iterations, so it requires the shared-engine path: setting
+	// it together with Workers > 0 is an error.
 	BackgroundFlows int
+	// Workers, when positive, runs the measurement iterations on a pool
+	// of that many concurrent workers. Each iteration already draws from
+	// an independent deterministic RNG stream, so iterations are
+	// embarrassingly parallel once every worker measures on its own
+	// engine+network replica (simnet.Network.Clone); per-iteration
+	// fragment counts are then merged in iteration order, which makes the
+	// result bit-identical for any Workers >= 1 — Workers=4 reproduces
+	// Workers=1 exactly. Workers=0 (the default) keeps the in-place
+	// sequential path on the caller's engine, whose clock carries over
+	// between iterations. RotateRoot and Window compose with Workers;
+	// BackgroundFlows does not (see its doc).
+	Workers int
+	// DiscardBroadcasts, when true, drops the raw per-broadcast
+	// instrumentation after its fragment counts are merged:
+	// IterationRecord.Broadcast stays nil. A Result otherwise retains
+	// every broadcast's O(N^2) fragment matrix, which for long runs is by
+	// far the largest allocation of the pipeline. Sliding-window
+	// retirement (Window > 0) keeps its own ring of the last Window
+	// broadcasts internally, so it works regardless of this flag.
+	DiscardBroadcasts bool
 }
 
 // DefaultOptions mirrors the paper's standard setting: 30 iterations of
@@ -82,7 +105,8 @@ func DefaultOptions() Options {
 type IterationRecord struct {
 	// Iteration is 1-based.
 	Iteration int
-	// Broadcast is the raw instrumentation of this iteration.
+	// Broadcast is the raw instrumentation of this iteration. It is nil
+	// when Options.DiscardBroadcasts dropped it after merging.
 	Broadcast *bittorrent.Result
 	// Partition is the clustering of the aggregated metric after this
 	// iteration (empty if skipped by ClusterEvery).
@@ -117,6 +141,11 @@ type Result struct {
 
 // Run performs tomography over hosts on an existing simulated network.
 // truth is the ground-truth partition labels (nil to skip NMI scoring).
+//
+// With opts.Workers == 0 every broadcast runs in sequence on the caller's
+// engine and network. With opts.Workers >= 1 each iteration runs on a
+// private replica of net (which must be idle) and the caller's engine is
+// left untouched; see Options.Workers for the determinism contract.
 func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Options) (*Result, error) {
 	n := len(hosts)
 	if n < 2 {
@@ -134,73 +163,235 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 	if opts.Window < 0 {
 		return nil, fmt.Errorf("core: negative Window %d", opts.Window)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Workers %d", opts.Workers)
+	}
+	if opts.Workers > 0 && opts.BackgroundFlows > 0 {
+		return nil, fmt.Errorf("core: BackgroundFlows=%d needs engine state shared across iterations and cannot run with Workers=%d; use Workers=0",
+			opts.BackgroundFlows, opts.Workers)
+	}
 	rng := sim.NewRNG(opts.Seed)
+	m := newMerger(net, hosts, truth, opts, rng)
 
-	counts := graph.New(n) // cumulative exchanged fragments
-	for i := 0; i < n; i++ {
-		counts.SetLabel(i, net.Name(hosts[i]))
+	if opts.Workers > 0 {
+		if err := runParallel(net, hosts, opts, rng, m); err != nil {
+			return nil, err
+		}
+		return m.res, nil
 	}
 
 	if opts.BackgroundFlows > 0 {
 		stop := startBackground(net, hosts, opts.BackgroundFlows, rng.Stream("background"))
 		defer stop()
 	}
-
-	res := &Result{}
 	for it := 1; it <= opts.Iterations; it++ {
-		cfg := opts.BT
-		if opts.RotateRoot {
-			cfg.Root = (it - 1) % n
-		}
-		bres, err := bittorrent.RunBroadcast(eng, net, hosts, cfg, rng.Streamf("broadcast", it))
+		bres, err := bittorrent.RunBroadcast(eng, net, hosts, broadcastConfig(opts, it, n), rng.Streamf("broadcast", it))
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
-		res.TotalMeasurementTime += bres.Duration
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				if w := bres.Exchanged(a, b); w > 0 {
-					counts.AddWeight(a, b, float64(w))
-				}
-			}
-		}
-		// Sliding window: retire the iteration that fell out.
-		if opts.Window > 0 && it > opts.Window {
-			old := res.Iterations[it-opts.Window-1].Broadcast
-			for a := 0; a < n; a++ {
-				for b := a + 1; b < n; b++ {
-					if w := old.Exchanged(a, b); w > 0 {
-						counts.AddWeight(a, b, -float64(w))
-					}
-				}
-			}
-		}
-		rec := IterationRecord{Iteration: it, Broadcast: bres, NMI: nan()}
-		clusterNow := it == opts.Iterations ||
-			(opts.ClusterEvery > 0 && it%opts.ClusterEvery == 0)
-		if clusterNow {
-			window := it
-			if opts.Window > 0 && opts.Window < it {
-				window = opts.Window
-			}
-			mean := meanGraph(counts, window, opts.TopFraction)
-			lou := cluster.Louvain(mean, rng.Streamf("louvain", it))
-			rec.Partition = lou.Partition
-			rec.Q = lou.Q
-			rec.Clustered = true
-			if truth != nil {
-				rec.NMI = nmi.LFKPartition(truth, lou.Partition.Labels)
-			}
-			if it == opts.Iterations {
-				res.Graph = mean
-				res.Partition = lou.Partition
-				res.Q = lou.Q
-				res.NMI = rec.NMI
-			}
-		}
-		res.Iterations = append(res.Iterations, rec)
+		m.add(it, bres)
 	}
-	return res, nil
+	return m.res, nil
+}
+
+// broadcastConfig derives iteration it's broadcast configuration from the
+// shared options, rotating the root when requested. The sequential and
+// parallel paths must share this single definition — the bit-identity
+// contract between them depends on it.
+func broadcastConfig(opts Options, it, n int) bittorrent.Config {
+	cfg := opts.BT
+	if opts.RotateRoot {
+		cfg.Root = (it - 1) % n
+	}
+	return cfg
+}
+
+// runParallel fans the measurement iterations out over a pool of
+// opts.Workers workers, each measuring on its own engine+network replica,
+// and merges the broadcasts in iteration order. On error it stops handing
+// out new iterations, drains the in-flight ones, and reports the error of
+// the lowest-numbered failed iteration (so the reported failure does not
+// depend on goroutine scheduling).
+func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m *merger) error {
+	if net.ActiveFlows() > 0 || net.PendingFlows() > 0 {
+		return fmt.Errorf("core: Workers=%d needs an idle network to replicate, have %d active and %d pending flows",
+			opts.Workers, net.ActiveFlows(), net.PendingFlows())
+	}
+	n := len(hosts)
+	workers := opts.Workers
+	if workers > opts.Iterations {
+		workers = opts.Iterations
+	}
+
+	type outcome struct {
+		it   int
+		bres *bittorrent.Result
+		err  error
+	}
+	tasks := make(chan int)
+	results := make(chan outcome, workers)
+	stop := make(chan struct{})
+	// credits bounds the run-ahead: at most maxAhead iterations may be
+	// in flight or completed-but-unmerged at once, so one stalled worker
+	// cannot make the reorder buffer accumulate O(Iterations) broadcast
+	// matrices. maxAhead > workers, so the iteration the merge is waiting
+	// on always has a worker; no deadlock.
+	maxAhead := 2 * workers
+	credits := make(chan struct{}, maxAhead)
+	for i := 0; i < maxAhead; i++ {
+		credits <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range tasks {
+				replicaEng := sim.NewEngine()
+				replica := net.Clone(replicaEng)
+				bres, err := bittorrent.RunBroadcast(replicaEng, replica, hosts, broadcastConfig(opts, it, n), rng.Streamf("broadcast", it))
+				results <- outcome{it: it, bres: bres, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(tasks)
+		for it := 1; it <= opts.Iterations; it++ {
+			select {
+			case <-credits:
+			case <-stop:
+				return
+			}
+			select {
+			case tasks <- it:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: merge strictly in iteration order as results land.
+	pending := make(map[int]*bittorrent.Result, workers)
+	next := 1
+	var firstErr error
+	errIt := 0
+	for out := range results {
+		if out.err != nil {
+			if firstErr == nil {
+				close(stop)
+			}
+			if firstErr == nil || out.it < errIt {
+				firstErr, errIt = out.err, out.it
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		pending[out.it] = out.bres
+		for {
+			bres, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			m.add(next, bres)
+			next++
+			credits <- struct{}{} // merged: let the feeder run ahead again
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("core: iteration %d: %w", errIt, firstErr)
+	}
+	return nil
+}
+
+// merger folds per-iteration broadcast results — in iteration order — into
+// the cumulative fragment counts, the sliding window, the per-iteration
+// clustering and the final Result. Both the sequential and the parallel
+// path feed the same merger, which is what keeps their outputs identical.
+type merger struct {
+	opts  Options
+	truth []int
+	n     int
+	rng   *sim.RNG
+	// counts accumulates exchanged fragments (the numerator of Eq. 2).
+	counts *graph.Graph
+	// window is a ring of the last Window broadcasts, kept so retirement
+	// does not depend on IterationRecord.Broadcast retention.
+	window []*bittorrent.Result
+	res    *Result
+}
+
+func newMerger(net *simnet.Network, hosts, truth []int, opts Options, rng *sim.RNG) *merger {
+	n := len(hosts)
+	counts := graph.New(n)
+	for i := 0; i < n; i++ {
+		counts.SetLabel(i, net.Name(hosts[i]))
+	}
+	m := &merger{opts: opts, truth: truth, n: n, rng: rng, counts: counts, res: &Result{}}
+	if opts.Window > 0 {
+		m.window = make([]*bittorrent.Result, opts.Window)
+	}
+	return m
+}
+
+// add merges iteration it. Calls must arrive with it = 1, 2, 3, ...
+func (m *merger) add(it int, bres *bittorrent.Result) {
+	m.res.TotalMeasurementTime += bres.Duration
+	m.applyCounts(bres, 1)
+	if m.opts.Window > 0 {
+		// Sliding window: retire the iteration that fell out. Iteration
+		// it-Window lives in the very slot iteration it is about to take.
+		slot := (it - 1) % m.opts.Window
+		if it > m.opts.Window {
+			m.applyCounts(m.window[slot], -1)
+		}
+		m.window[slot] = bres
+	}
+	rec := IterationRecord{Iteration: it, NMI: nan()}
+	if !m.opts.DiscardBroadcasts {
+		rec.Broadcast = bres
+	}
+	clusterNow := it == m.opts.Iterations ||
+		(m.opts.ClusterEvery > 0 && it%m.opts.ClusterEvery == 0)
+	if clusterNow {
+		window := it
+		if m.opts.Window > 0 && m.opts.Window < it {
+			window = m.opts.Window
+		}
+		mean := meanGraph(m.counts, window, m.opts.TopFraction)
+		lou := cluster.Louvain(mean, m.rng.Streamf("louvain", it))
+		rec.Partition = lou.Partition
+		rec.Q = lou.Q
+		rec.Clustered = true
+		if m.truth != nil {
+			rec.NMI = nmi.LFKPartition(m.truth, lou.Partition.Labels)
+		}
+		if it == m.opts.Iterations {
+			m.res.Graph = mean
+			m.res.Partition = lou.Partition
+			m.res.Q = lou.Q
+			m.res.NMI = rec.NMI
+		}
+	}
+	m.res.Iterations = append(m.res.Iterations, rec)
+}
+
+// applyCounts adds (sign=+1) or retires (sign=-1) one broadcast's fragment
+// counts.
+func (m *merger) applyCounts(bres *bittorrent.Result, sign float64) {
+	for a := 0; a < m.n; a++ {
+		for b := a + 1; b < m.n; b++ {
+			if w := bres.Exchanged(a, b); w > 0 {
+				m.counts.AddWeight(a, b, sign*float64(w))
+			}
+		}
+	}
 }
 
 // RunDataset runs tomography on a topology.Dataset against its ground

@@ -5,9 +5,12 @@ package experiments
 // figures.
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -45,6 +48,10 @@ type DatasetsData struct {
 	Table    *report.Table
 }
 
+// errSweepSkipped marks datasets the parallel sweep never started because
+// an earlier dataset had already failed.
+var errSweepSkipped = errors.New("experiments: dataset skipped after earlier failure")
+
 // paperIterations is the per-dataset iteration count used in §IV.
 var paperIterations = map[string]int{
 	"2x2": 30, "B": 36, "BT": 30, "GT": 30, "BGT": 30, "BGTL": 30,
@@ -57,14 +64,67 @@ var paperConverged = map[string]string{
 }
 
 // Datasets runs the full §IV suite and emits the comparison table, the
-// Fig. 13 CSV and (with DataDir set) the Figs. 8-12 DOT/SVG layouts.
+// Fig. 13 CSV and (with DataDir set) the Figs. 8-12 DOT/SVG layouts. With
+// cfg.Workers > 1 the datasets are measured concurrently (each on its own
+// simulator replica); outcomes are assembled in paper order, so the
+// emitted tables and figures match the sequential sweep.
 func (r *Runner) Datasets() (*DatasetsData, error) {
 	data := &DatasetsData{}
 	fig13 := &report.Table{Header: []string{"dataset", "iteration", "nmi"}}
-	for _, name := range topology.DatasetNames {
-		d := topology.Registry[name]()
-		opts := r.options(paperIterations[name])
-		res, err := core.RunDataset(d, opts)
+	type sweepRun struct {
+		d   *topology.Dataset
+		res *core.Result
+		err error
+	}
+	runs := make([]sweepRun, len(topology.DatasetNames))
+	workers := r.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i, name := range topology.DatasetNames {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Fail fast like the old sequential loop: once any dataset
+			// has errored, skip the ones that have not started yet.
+			if failed.Load() {
+				runs[i].err = errSweepSkipped
+				return
+			}
+			d := topology.Registry[name]()
+			opts := r.options(paperIterations[name])
+			if workers > 1 {
+				// The sweep owns the worker budget: measure each dataset
+				// with a single (replica-path) worker so concurrency
+				// stays at Workers instead of Workers squared. Graphs,
+				// partitions and NMI are bit-identical either way; only
+				// simulated durations can differ from the in-place
+				// sequential path in their last ulps (see
+				// core.Options.Workers).
+				opts.Workers = 1
+			}
+			res, err := core.RunDataset(d, opts)
+			if err != nil {
+				failed.Store(true)
+			}
+			runs[i] = sweepRun{d: d, res: res, err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	// Surface the real failure rather than a skip marker; admission order
+	// is not paper order, so a skipped dataset may precede the failed one.
+	for i, name := range topology.DatasetNames {
+		if err := runs[i].err; err != nil && err != errSweepSkipped {
+			return nil, fmt.Errorf("dataset %s: %w", name, err)
+		}
+	}
+	for i, name := range topology.DatasetNames {
+		d, res, err := runs[i].d, runs[i].res, runs[i].err
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: %w", name, err)
 		}

@@ -10,11 +10,14 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bittorrent"
 	"repro/internal/core"
@@ -36,6 +39,14 @@ type Config struct {
 	Out io.Writer
 	// DataDir, when non-empty, receives CSV series and DOT/SVG figures.
 	DataDir string
+	// Workers, when > 1, parallelises the harness. The budget applies at
+	// the outermost level that can fan out, never multiplicatively:
+	// RunAll runs that many experiments concurrently (each internally
+	// sequential), a lone Datasets experiment sweeps that many datasets
+	// concurrently, and a single-run experiment fans its measurement
+	// iterations out via core.Options.Workers (bit-identical to a single
+	// worker). 0 or 1 keeps everything sequential.
+	Workers int
 }
 
 // DefaultConfig is the full paper-scale configuration printing to stdout.
@@ -70,6 +81,9 @@ func (r *Runner) options(iters int) core.Options {
 		iters = r.cfg.Iterations
 	}
 	opts.Iterations = iters
+	if r.cfg.Workers > 1 {
+		opts.Workers = r.cfg.Workers
+	}
 	return opts
 }
 
@@ -131,11 +145,58 @@ func (r *Runner) Run(name string) error {
 	}
 }
 
-// RunAll executes every experiment.
+// RunAll executes every experiment. With cfg.Workers > 1 the experiments
+// run concurrently (bounded by Workers), each writing into its own buffer;
+// the buffers are emitted in paper order, so the rendered output is
+// indistinguishable from a sequential run.
 func (r *Runner) RunAll() error {
-	for _, name := range Names {
-		if err := r.Run(name); err != nil {
-			return fmt.Errorf("experiments: %s: %w", name, err)
+	if r.cfg.Workers <= 1 {
+		for _, name := range Names {
+			if err := r.Run(name); err != nil {
+				return fmt.Errorf("experiments: %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outs := make([]outcome, len(Names))
+	sem := make(chan struct{}, r.cfg.Workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i, name := range Names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Fail fast like the sequential path: once any experiment
+			// has errored, skip the ones that have not started yet
+			// (in-flight ones drain; the error surfaces in paper order).
+			if failed.Load() {
+				return
+			}
+			sub := r.cfg
+			sub.Out = &outs[i].buf
+			// The experiment fan-out owns the whole worker budget; the
+			// experiments themselves run sequentially inside so the
+			// total concurrency stays at Workers, not Workers squared.
+			sub.Workers = 1
+			if err := New(sub).Run(name); err != nil {
+				outs[i].err = err
+				failed.Store(true)
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range Names {
+		if _, err := outs[i].buf.WriteTo(r.cfg.Out); err != nil {
+			return err
+		}
+		if outs[i].err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, outs[i].err)
 		}
 	}
 	return nil

@@ -249,3 +249,62 @@ func TestStressExperimentSmallScale(t *testing.T) {
 		t.Fatal("table not emitted")
 	}
 }
+
+// TestDatasetsParallelSweepMatchesSequential: the concurrent per-dataset
+// sweep must produce the same outcomes, in the same paper order, as the
+// sequential sweep.
+func TestDatasetsParallelSweepMatchesSequential(t *testing.T) {
+	run := func(workers int) *DatasetsData {
+		var sb strings.Builder
+		r := New(Config{Scale: 0.05, Iterations: 2, Seed: 1, Out: &sb, Workers: workers})
+		data, err := r.Datasets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	seq, par := run(0), run(3)
+	if len(seq.Outcomes) != len(par.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seq.Outcomes), len(par.Outcomes))
+	}
+	for i := range seq.Outcomes {
+		s, p := seq.Outcomes[i], par.Outcomes[i]
+		if s.Name != p.Name {
+			t.Fatalf("outcome %d ordered %q sequentially, %q in parallel", i, s.Name, p.Name)
+		}
+		if s.FinalNMI != p.FinalNMI || s.FinalClusters != p.FinalClusters ||
+			s.Q != p.Q || s.ConvergedAt != p.ConvergedAt {
+			t.Fatalf("%s diverged: seq %+v par %+v", s.Name, s, p)
+		}
+		// Durations may differ from the in-place sequential path only in
+		// their last ulps (replica engines read the clock near t=0).
+		if d := s.MeanDuration - p.MeanDuration; d > 1e-9*s.MeanDuration || d < -1e-9*s.MeanDuration {
+			t.Fatalf("%s mean duration diverged: seq %v par %v", s.Name, s.MeanDuration, p.MeanDuration)
+		}
+	}
+}
+
+// TestRunAllParallelOrderedOutput: concurrent experiments must emit their
+// buffered output in paper order and byte-identical to a sequential run.
+// The experiment list is shortened to keep the test fast.
+func TestRunAllParallelOrderedOutput(t *testing.T) {
+	old := Names
+	Names = []string{"netpipe", "fig4"}
+	defer func() { Names = old }()
+
+	run := func(workers int) string {
+		var sb strings.Builder
+		r := New(Config{Scale: 0.05, Iterations: 2, Seed: 1, Out: &sb, Workers: workers})
+		if err := r.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	seq, par := run(0), run(2)
+	if par != seq {
+		t.Fatalf("parallel RunAll output differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if netpipe, fig4 := strings.Index(par, "NetPIPE"), strings.Index(par, "Fig.4"); netpipe < 0 || fig4 < 0 || netpipe > fig4 {
+		t.Fatalf("experiment output out of order (netpipe at %d, fig4 at %d)", netpipe, fig4)
+	}
+}

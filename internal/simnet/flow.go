@@ -97,7 +97,9 @@ func (n *Network) StartFlowRateLimited(src, dst int, size, rateCap float64, done
 	}
 	f.cap = capPF
 	f.slot = -1
+	n.pendingFlows++
 	n.eng.Schedule(lat, func() {
+		n.pendingFlows--
 		if f.cancelled {
 			return
 		}
@@ -127,6 +129,14 @@ func (n *Network) CancelFlow(f *Flow) {
 
 // ActiveFlows returns the number of currently active flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// PendingFlows returns the number of flows that have been started but are
+// not yet active because their path-latency delay has not elapsed (their
+// activation event is still queued on the engine). Cancelled-but-unfired
+// activations are counted until their event drains. Together with
+// ActiveFlows it tells whether the network is truly idle — the
+// precondition for Clone.
+func (n *Network) PendingFlows() int { return n.pendingFlows }
 
 // removeFlow drops f from the active set with a swap-remove.
 func (n *Network) removeFlow(f *Flow) {

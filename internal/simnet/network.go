@@ -77,12 +77,13 @@ type Network struct {
 	eng   *sim.Engine
 	verts []vertex
 
-	flows     []*Flow
-	nextFlow  int
-	lastSolve float64
-	dirty     bool
-	resolveEv *sim.Event
-	complEv   *sim.Event
+	flows        []*Flow
+	pendingFlows int
+	nextFlow     int
+	lastSolve    float64
+	dirty        bool
+	resolveEv    *sim.Event
+	complEv      *sim.Event
 
 	routeCache  map[int][]int32 // src -> prev-vertex array from BFS
 	chanScratch []*channel
@@ -274,6 +275,41 @@ func (n *Network) SetLinkCapacity(a, b int, capacity float64) {
 	// Accrue progress under the old rates, then re-solve.
 	n.advance()
 	n.markDirty()
+}
+
+// Clone returns an independent copy of the network's static topology —
+// vertices, links, capacities, latencies and per-flow caps — bound to eng.
+// Dynamic state does not carry over: the clone starts with no flows, an
+// empty route cache and zeroed utilisation counters. Clone is the
+// replication primitive behind parallel tomography (core.Options.Workers):
+// each worker measures on its own engine+network replica. It panics if the
+// network has active flows, because in-flight fluid state cannot be
+// replayed onto a fresh engine. Flows whose activation is still pending
+// (started, latency not yet elapsed) count as in-flight too.
+func (n *Network) Clone(eng *sim.Engine) *Network {
+	if len(n.flows) > 0 || n.pendingFlows > 0 {
+		panic(fmt.Sprintf("simnet: cannot clone a network with %d active and %d pending flows",
+			len(n.flows), n.pendingFlows))
+	}
+	c := New(eng)
+	c.verts = make([]vertex, len(n.verts))
+	for i, v := range n.verts {
+		c.verts[i] = vertex{name: v.name, isHost: v.isHost}
+	}
+	// Channels are copied per direction so capacities changed at runtime
+	// with SetLinkCapacity survive the copy.
+	for i, v := range n.verts {
+		for _, ch := range v.chans {
+			c.verts[i].chans = append(c.verts[i].chans, &channel{
+				from:       ch.from,
+				to:         ch.to,
+				capacity:   ch.capacity,
+				latency:    ch.latency,
+				perFlowCap: ch.perFlowCap,
+			})
+		}
+	}
+	return c
 }
 
 // FindVertex returns the id of the vertex with the given name, or -1.

@@ -559,3 +559,116 @@ func TestPathLatencyAdditiveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCloneCopiesTopology(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	sw := n.AddSwitch("sw")
+	b := n.AddHost("b")
+	n.Connect(a, sw, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	n.Connect(sw, b, LinkSpec{Capacity: Mbps(100), Latency: 1e-3, PerFlowCap: Mbps(50)})
+
+	eng2 := sim.NewEngine()
+	c := n.Clone(eng2)
+	if c.NumVertices() != n.NumVertices() {
+		t.Fatalf("clone has %d vertices, want %d", c.NumVertices(), n.NumVertices())
+	}
+	for v := 0; v < n.NumVertices(); v++ {
+		if c.Name(v) != n.Name(v) || c.IsHost(v) != n.IsHost(v) {
+			t.Fatalf("vertex %d differs in clone", v)
+		}
+	}
+	want := n.Path(a, b)
+	got := c.Path(a, b)
+	if got != want {
+		t.Fatalf("clone path info %+v, want %+v", got, want)
+	}
+	if c.Engine() != eng2 {
+		t.Fatal("clone not bound to the new engine")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: Mbps(800), Latency: 1e-3})
+	eng2 := sim.NewEngine()
+	c := n.Clone(eng2)
+
+	// A capacity change on the original must not leak into the clone.
+	n.SetLinkCapacity(a, b, Mbps(100))
+	eng.Run() // drain the re-allocation the change scheduled
+	if got, want := c.Path(a, b).Capacity, Mbps(800); got != want {
+		t.Fatalf("clone capacity changed to %g, want %g", got, want)
+	}
+	// A flow on the clone must not appear on the original.
+	done := false
+	c.StartFlow(a, b, 1e6, func() { done = true })
+	eng2.Run()
+	if !done {
+		t.Fatal("flow on clone did not complete")
+	}
+	if n.ActiveFlows() != 0 || eng.Pending() != 0 {
+		t.Fatal("flow on clone leaked into the original network")
+	}
+}
+
+func TestCloneReplaysIdentically(t *testing.T) {
+	run := func(n *Network, eng *sim.Engine, a, b int) float64 {
+		for i := 0; i < 4; i++ {
+			n.StartFlow(a, b, 5e6, nil)
+			n.StartFlow(b, a, 3e6, nil)
+		}
+		return eng.Run()
+	}
+	eng1, n1, a, b := pair(t, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	eng2 := sim.NewEngine()
+	n2 := n1.Clone(eng2)
+	if t1, t2 := run(n1, eng1, a, b), run(n2, eng2, a, b); t1 != t2 {
+		t.Fatalf("clone finished at %g, original at %g", t2, t1)
+	}
+}
+
+func TestCloneWithActiveFlowsPanics(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	n.StartFlow(a, b, 1e12, nil)
+	eng.RunUntil(eng.Now() + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone with active flows did not panic")
+		}
+	}()
+	n.Clone(sim.NewEngine())
+}
+
+func TestCloneWithPendingFlowsPanics(t *testing.T) {
+	_, n, a, b := pair(t, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	n.StartFlow(a, b, 1e12, nil) // engine never runs: flow stays pending
+	if n.PendingFlows() != 1 || n.ActiveFlows() != 0 {
+		t.Fatalf("pending=%d active=%d, want 1/0", n.PendingFlows(), n.ActiveFlows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone with a pending flow did not panic")
+		}
+	}()
+	n.Clone(sim.NewEngine())
+}
+
+func TestPendingFlowsDrainsOnActivationAndCompletion(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: Mbps(890), Latency: 50e-6})
+	n.StartFlow(a, b, 1e6, nil)
+	if n.PendingFlows() != 1 {
+		t.Fatalf("pending = %d after start, want 1", n.PendingFlows())
+	}
+	eng.Run()
+	if n.PendingFlows() != 0 || n.ActiveFlows() != 0 {
+		t.Fatalf("pending=%d active=%d after drain, want 0/0", n.PendingFlows(), n.ActiveFlows())
+	}
+	// A cancelled-before-activation flow drains once its event fires.
+	f := n.StartFlow(a, b, 1e6, nil)
+	n.CancelFlow(f)
+	eng.Run()
+	if n.PendingFlows() != 0 {
+		t.Fatalf("pending = %d after cancelled activation drained, want 0", n.PendingFlows())
+	}
+}

@@ -62,6 +62,26 @@ type Dataset struct {
 // N returns the number of hosts.
 func (d *Dataset) N() int { return len(d.Hosts) }
 
+// Replicate returns an independent copy of the dataset on a fresh
+// simulation engine: the same topology (including any runtime capacity
+// changes), hosts, and ground truth, but no simulated state. It is the
+// dataset-level convenience over simnet.Network.Clone — the same
+// primitive the parallel measurement pipeline (core.Options.Workers)
+// uses per iteration — and suits callers running independent sweeps over
+// one topology from their own goroutines. It panics if the dataset's
+// network has active flows (replicate before measuring, not mid-run).
+func (d *Dataset) Replicate() *Dataset {
+	eng := sim.NewEngine()
+	return &Dataset{
+		Name:        d.Name,
+		Eng:         eng,
+		Net:         d.Net.Clone(eng),
+		Hosts:       append([]int(nil), d.Hosts...),
+		GroundTruth: append([]int(nil), d.GroundTruth...),
+		TruthNote:   d.TruthNote,
+	}
+}
+
 // HostName returns the display name of host index i.
 func (d *Dataset) HostName(i int) string { return d.Net.Name(d.Hosts[i]) }
 

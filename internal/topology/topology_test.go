@@ -231,3 +231,31 @@ func TestRandomTopologyDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicateIsIndependentAndEquivalent(t *testing.T) {
+	d := BT()
+	r := d.Replicate()
+	if r.Name != d.Name || r.N() != d.N() || r.TruthNote != d.TruthNote {
+		t.Fatal("replica metadata differs")
+	}
+	if r.Eng == d.Eng || r.Net == d.Net {
+		t.Fatal("replica shares simulator state with the original")
+	}
+	for i := range d.Hosts {
+		if r.Hosts[i] != d.Hosts[i] || r.GroundTruth[i] != d.GroundTruth[i] {
+			t.Fatalf("host %d differs in replica", i)
+		}
+		if r.HostName(i) != d.HostName(i) {
+			t.Fatalf("host %d named %q in replica, want %q", i, r.HostName(i), d.HostName(i))
+		}
+	}
+	// Same routes and capacities: the replica is measurement-equivalent.
+	if got, want := r.Net.Path(r.Hosts[0], r.Hosts[63]), d.Net.Path(d.Hosts[0], d.Hosts[63]); got != want {
+		t.Fatalf("replica path %+v, want %+v", got, want)
+	}
+	// Mutating the replica's truth must not touch the original.
+	r.GroundTruth[0] = 99
+	if d.GroundTruth[0] == 99 {
+		t.Fatal("replica ground truth aliases the original")
+	}
+}

@@ -29,6 +29,17 @@
 //	fmt.Println(res.Partition)  // two clusters, one per site
 //	fmt.Println(res.NMI)        // 1.0 against the ground truth
 //
+// # Parallel measurement
+//
+// Iterations draw from independent deterministic RNG streams, so they are
+// embarrassingly parallel. Setting Options.Workers >= 1 fans the
+// measurement out over that many workers, each on its own simulator
+// replica; per-iteration counts merge in iteration order, making the
+// result bit-identical for every worker count:
+//
+//	opts := repro.ParallelOptions(4) // DefaultOptions + Workers=4
+//	res, err := repro.Run(dataset, opts)
+//
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
 // EXPERIMENTS.md for measured-versus-paper results.
@@ -54,11 +65,27 @@ type IterationRecord = core.IterationRecord
 
 // Dataset is a simulated network with hosts and a ground-truth logical
 // clustering. The built-in datasets model the paper's Grid'5000 settings.
+// Dataset.Replicate copies one onto a fresh simulation engine — built on
+// the same network-cloning primitive the parallel measurement pipeline
+// uses — for running independent sweeps over the same topology.
 type Dataset = topology.Dataset
 
 // DefaultOptions mirrors the paper's standard configuration: 30
-// iterations of a 239 MB broadcast in 16 KiB fragments, fixed root.
+// iterations of a 239 MB broadcast in 16 KiB fragments, fixed root,
+// sequential measurement.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// ParallelOptions is DefaultOptions with the measurement fanned out over
+// the given number of workers. Each worker measures on its own simulator
+// replica and the per-iteration results are merged in iteration order, so
+// any workers >= 1 produces bit-identical graphs, partitions and NMI
+// scores — only wall-clock time changes. See core.Options.Workers for the
+// full contract (BackgroundFlows requires the sequential path).
+func ParallelOptions(workers int) Options {
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	return opts
+}
 
 // Datasets lists the built-in dataset names in the order the paper
 // presents them: 2x2, B, BT, GT, BGT, BGTL.

@@ -146,3 +146,29 @@ func TestFacadeHierarchy(t *testing.T) {
 		t.Fatalf("hierarchical NMI out of range: %g", score)
 	}
 }
+
+func TestParallelOptionsRunsIdenticallyToSequentialReplica(t *testing.T) {
+	run := func(opts Options) *Result {
+		res, err := RunNamed("2x2", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	opts := smallOptions(3)
+	opts.Workers = 4
+	par := run(opts)
+	opts.Workers = 1
+	one := run(opts)
+	if par.NMI != one.NMI || par.Q != one.Q ||
+		par.Graph.TotalWeight() != one.Graph.TotalWeight() {
+		t.Fatalf("Workers=4 diverged from Workers=1: NMI %v vs %v, Q %v vs %v",
+			par.NMI, one.NMI, par.Q, one.Q)
+	}
+	if ParallelOptions(4).Workers != 4 {
+		t.Fatal("ParallelOptions did not set Workers")
+	}
+	if ParallelOptions(4).Iterations != DefaultOptions().Iterations {
+		t.Fatal("ParallelOptions drifted from DefaultOptions")
+	}
+}
