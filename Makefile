@@ -3,12 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# examples must always compile: they are the documented entry points.
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -35,4 +39,10 @@ bench-smoke:
 bench:
 	$(GO) run ./cmd/benchparallel -workers 4 -iterations 8 -out BENCH_parallel.json
 
-ci: fmt-check vet build race bench-smoke bench
+# spec-smoke runs a custom JSON scenario end-to-end through the CLI with
+# parallel measurement — the declarative path a user would take.
+spec-smoke:
+	$(GO) run ./cmd/bttomo -spec testdata/specs/twin.json -iterations 3 -scale 0.2 -workers 2
+	$(GO) run ./cmd/bttomo -list
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke bench

@@ -1,10 +1,13 @@
-// Command bttomo runs BitTorrent bandwidth tomography on one of the
-// built-in Grid'5000 datasets and prints the discovered logical clusters,
-// their modularity, and the NMI against the ground truth.
+// Command bttomo runs BitTorrent bandwidth tomography on a registered
+// dataset or on a declarative scenario spec, and prints the discovered
+// logical clusters, their modularity, and the NMI against the ground
+// truth.
 //
 // Usage:
 //
 //	bttomo -dataset GT -iterations 10 -scale 0.25 -seed 7 -fig13
+//	bttomo -spec myscenario.json -workers 4   # run a JSON scenario spec
+//	bttomo -list                              # show the scenario registry
 //	bttomo -dataset B -save b.json        # archive the measurement graph
 //	bttomo -load b.json                   # re-cluster an archived graph
 package main
@@ -12,19 +15,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		dataset    = flag.String("dataset", "GT", "dataset: "+strings.Join(repro.Datasets(), ", "))
+		dataset    = flag.String("dataset", "GT", "registered dataset or scenario: "+strings.Join(repro.Datasets(), ", "))
+		spec       = flag.String("spec", "", "run a declarative scenario spec from this JSON file instead of -dataset")
+		list       = flag.Bool("list", false, "print the scenario registry (built-ins + registered specs) and exit")
 		iterations = flag.Int("iterations", 10, "number of BitTorrent broadcast iterations")
 		scale      = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -36,17 +44,59 @@ func main() {
 	)
 	flag.Parse()
 
-	if *load != "" {
-		if err := runArchived(*load, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "bttomo:", err)
-			os.Exit(1)
+	err := func() error {
+		// The three modes are mutually exclusive; refuse ambiguous
+		// combinations instead of silently preferring one.
+		if *spec != "" && (*list || *load != "") {
+			return fmt.Errorf("-spec cannot be combined with -list or -load")
 		}
-		return
-	}
-	if err := run(*dataset, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save); err != nil {
+		if *list && *load != "" {
+			return fmt.Errorf("-list cannot be combined with -load")
+		}
+		switch {
+		case *list:
+			return listRegistry(os.Stdout)
+		case *load != "":
+			return runArchived(*load, *seed)
+		default:
+			d, err := buildDataset(*dataset, *spec)
+			if err != nil {
+				return err
+			}
+			return run(d, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save)
+		}
+	}()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bttomo:", err)
 		os.Exit(1)
 	}
+}
+
+// buildDataset compiles either a spec file or a registered scenario name.
+func buildDataset(dataset, specPath string) (*repro.Dataset, error) {
+	if specPath == "" {
+		return repro.NewDataset(dataset)
+	}
+	s, err := repro.LoadSpec(specPath)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compile()
+}
+
+// listRegistry prints every registered scenario with its host count and
+// ground-truth cluster count.
+func listRegistry(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tHOSTS\tTRUTH CLUSTERS\tNOTE")
+	for _, name := range repro.Datasets() {
+		s, ok := scenario.Lookup(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", s.Name, s.NumHosts(), len(s.Clusters()), s.Note)
+	}
+	return tw.Flush()
 }
 
 // runArchived clusters a previously saved measurement graph without
@@ -69,11 +119,7 @@ func runArchived(path string, seed int64) error {
 	return nil
 }
 
-func run(dataset string, iterations int, scale float64, seed int64, workers int, rotate, fig13 bool, save string) error {
-	d, err := repro.NewDataset(dataset)
-	if err != nil {
-		return err
-	}
+func run(d *repro.Dataset, iterations int, scale float64, seed int64, workers int, rotate, fig13 bool, save string) error {
 	opts := repro.DefaultOptions()
 	opts.Iterations = iterations
 	opts.Seed = seed

@@ -7,6 +7,7 @@
 //	experiments                 # full paper scale, all experiments
 //	experiments -scale 0.1      # 10% payload for a quick pass
 //	experiments -run datasets   # a single experiment
+//	experiments -specs a.json,b.json -workers 4  # sweep scenario specs
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/persist"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "results", "directory for CSV/DOT/SVG artifacts (empty to skip)")
 		workers = flag.Int("workers", 0, "parallel workers for measurements, dataset sweeps and the experiment fan-out (0/1 = sequential)")
+		specs   = flag.String("specs", "", "comma-separated scenario spec JSON files: sweep them instead of the paper experiments")
 	)
 	flag.Parse()
 
@@ -41,9 +45,12 @@ func main() {
 
 	start := time.Now()
 	var err error
-	if *run == "all" {
+	switch {
+	case *specs != "":
+		err = sweepSpecFiles(r, strings.Split(*specs, ","))
+	case *run == "all":
 		err = r.RunAll()
-	} else {
+	default:
 		err = r.Run(*run)
 	}
 	if err != nil {
@@ -55,4 +62,22 @@ func main() {
 		fmt.Printf("; artifacts in %s/", *out)
 	}
 	fmt.Println()
+}
+
+// sweepSpecFiles loads every spec file and runs the scenario sweep.
+func sweepSpecFiles(r *experiments.Runner, paths []string) error {
+	var loaded []*scenario.Spec
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		s, err := persist.LoadSpec(p)
+		if err != nil {
+			return err
+		}
+		loaded = append(loaded, s)
+	}
+	_, err := r.SweepSpecs(loaded)
+	return err
 }

@@ -33,6 +33,19 @@ func LoadMeasurement(path string) (*MeasurementGraph, error) {
 	return persist.LoadGraph(path)
 }
 
+// SaveSpec writes a scenario spec to a JSON file — the declarative
+// interchange format for scenarios (`bttomo -spec`, LoadSpec).
+func SaveSpec(path string, s *Spec) error {
+	return persist.SaveSpec(path, s)
+}
+
+// LoadSpec reads and validates a scenario spec from a JSON file. The
+// loaded spec can be run directly (RunSpec) or added to the registry
+// (RegisterSpec).
+func LoadSpec(path string) (*Spec, error) {
+	return persist.LoadSpec(path)
+}
+
 // Boundary describes the measured traffic across one discovered cluster
 // boundary — an explicit bottleneck report.
 type Boundary = core.Boundary

@@ -101,6 +101,42 @@ func DefaultOptions() Options {
 	}
 }
 
+// Validate checks the option fields for consistency before a run: counts
+// must be non-negative, TopFraction must lie in [0,1], and BackgroundFlows
+// (which needs engine state shared across iterations) cannot be combined
+// with Workers (which runs every iteration on its own replica). Run and
+// RunDataset call it first, so misconfigurations surface as clear errors
+// instead of silent misbehavior; callers assembling options far from the
+// run site (CLI flag parsing, experiment configs, spec files) can call it
+// early to fail fast. The broadcast configuration (Options.BT) is
+// validated separately by the measurement phase, which knows the host
+// count.
+func (o Options) Validate() error {
+	if o.Iterations < 1 {
+		return fmt.Errorf("core: need at least 1 iteration, have %d", o.Iterations)
+	}
+	if o.TopFraction < 0 || o.TopFraction > 1 {
+		return fmt.Errorf("core: TopFraction %g out of [0,1]", o.TopFraction)
+	}
+	if o.ClusterEvery < 0 {
+		return fmt.Errorf("core: negative ClusterEvery %d", o.ClusterEvery)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("core: negative Window %d", o.Window)
+	}
+	if o.BackgroundFlows < 0 {
+		return fmt.Errorf("core: negative BackgroundFlows %d", o.BackgroundFlows)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", o.Workers)
+	}
+	if o.Workers > 0 && o.BackgroundFlows > 0 {
+		return fmt.Errorf("core: BackgroundFlows=%d needs engine state shared across iterations and cannot run with Workers=%d; use Workers=0",
+			o.BackgroundFlows, o.Workers)
+	}
+	return nil
+}
+
 // IterationRecord captures the state after one measurement iteration.
 type IterationRecord struct {
 	// Iteration is 1-based.
@@ -154,21 +190,8 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 	if truth != nil && len(truth) != n {
 		return nil, fmt.Errorf("core: truth has %d labels for %d hosts", len(truth), n)
 	}
-	if opts.Iterations < 1 {
-		return nil, fmt.Errorf("core: need at least 1 iteration, have %d", opts.Iterations)
-	}
-	if opts.TopFraction < 0 || opts.TopFraction > 1 {
-		return nil, fmt.Errorf("core: TopFraction %g out of [0,1]", opts.TopFraction)
-	}
-	if opts.Window < 0 {
-		return nil, fmt.Errorf("core: negative Window %d", opts.Window)
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("core: negative Workers %d", opts.Workers)
-	}
-	if opts.Workers > 0 && opts.BackgroundFlows > 0 {
-		return nil, fmt.Errorf("core: BackgroundFlows=%d needs engine state shared across iterations and cannot run with Workers=%d; use Workers=0",
-			opts.BackgroundFlows, opts.Workers)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	rng := sim.NewRNG(opts.Seed)
 	m := newMerger(net, hosts, truth, opts, rng)

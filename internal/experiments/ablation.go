@@ -11,7 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nmi"
 	"repro/internal/report"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 // AblationRow compares clustering methods on one dataset.
@@ -45,7 +45,10 @@ func (r *Runner) Ablation() (*AblationData, error) {
 	data := &AblationData{}
 	iters := 12
 	for _, name := range []string{"B", "GT", "BGT"} {
-		d := topology.Registry[name]()
+		d, err := scenario.New(name)
+		if err != nil {
+			return nil, err
+		}
 		opts := r.options(iters)
 		opts.ClusterEvery = 0
 		res, err := core.RunDataset(d, opts)
@@ -80,7 +83,10 @@ func (r *Runner) Ablation() (*AblationData, error) {
 
 	// Design-knob ablations on GT.
 	run := func(mutate func(*core.Options)) (float64, int, error) {
-		d := topology.GT()
+		d, err := scenario.New("GT")
+		if err != nil {
+			return 0, 0, err
+		}
 		opts := r.options(iters)
 		opts.ClusterEvery = 0
 		mutate(&opts)

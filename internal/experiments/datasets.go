@@ -16,6 +16,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/nmi"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -96,7 +97,16 @@ func (r *Runner) Datasets() (*DatasetsData, error) {
 				runs[i].err = errSweepSkipped
 				return
 			}
-			d := topology.Registry[name]()
+			// The suite measures the spec-backed registry datasets — the
+			// same declarative specs a user could write — which compile
+			// bit-identically to the legacy topology constructors
+			// (asserted in internal/scenario's parity tests).
+			d, err := scenario.New(name)
+			if err != nil {
+				failed.Store(true)
+				runs[i].err = err
+				return
+			}
 			opts := r.options(paperIterations[name])
 			if workers > 1 {
 				// The sweep owns the worker budget: measure each dataset

@@ -22,6 +22,7 @@ import (
 	"repro/internal/bittorrent"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -224,7 +225,10 @@ type Fig4Data struct {
 // edges carry several times the remote edges' fragments (22533 vs 6337 in
 // total over 36 iterations there).
 func (r *Runner) Fig4() (*Fig4Data, error) {
-	d := topology.BT()
+	d, err := scenario.New("BT")
+	if err != nil {
+		return nil, err
+	}
 	opts := r.options(36)
 	opts.ClusterEvery = 0 // measurement only
 	res, err := core.RunDataset(d, opts)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nmi"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -38,7 +39,10 @@ type HierarchyData struct {
 // simply not degrade it, and it demonstrates multi-level recovery on
 // nested synthetic graphs in the core package's tests.
 func (r *Runner) Hierarchy() (*HierarchyData, error) {
-	d := topology.BT()
+	d, err := scenario.New("BT")
+	if err != nil {
+		return nil, err
+	}
 	opts := r.options(30)
 	opts.ClusterEvery = 0
 	res, err := core.RunDataset(d, opts)

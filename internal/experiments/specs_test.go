@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func sweepSpecs() []*scenario.Spec {
+	return []*scenario.Spec{
+		scenario.NSites(2, 4, 890, 100),
+		scenario.SkewedSites(2, 3, 890, 200, 0.5),
+	}
+}
+
+func TestSweepSpecsSmallScale(t *testing.T) {
+	r, out, dir := quick(t, 4)
+	data, err := r.SweepSpecs(sweepSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(data.Outcomes))
+	}
+	if data.Outcomes[0].Name != "nsites-2x4" || data.Outcomes[0].Hosts != 8 || data.Outcomes[0].TruthK != 2 {
+		t.Fatalf("first outcome = %+v", data.Outcomes[0])
+	}
+	if data.Outcomes[1].Name != "skewed-2x3" || data.Outcomes[1].Hosts != 6 {
+		t.Fatalf("second outcome = %+v", data.Outcomes[1])
+	}
+	for _, o := range data.Outcomes {
+		if o.Result == nil || o.MeanDuration <= 0 {
+			t.Fatalf("outcome %s lacks a result: %+v", o.Name, o)
+		}
+	}
+	if !strings.Contains(out.String(), "Scenario sweep") {
+		t.Fatal("table not emitted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spec_sweep.csv")); err != nil {
+		t.Fatal("sweep CSV not written")
+	}
+}
+
+// The parallel sweep must produce the same outcomes as the sequential one,
+// in input order.
+func TestSweepSpecsParallelMatchesSequential(t *testing.T) {
+	seqR, _, _ := quick(t, 3)
+	seq, err := seqR.SweepSpecs(sweepSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parR, _, _ := quick(t, 3)
+	parCfg := parR.cfg
+	parCfg.Workers = 4
+	par, err := New(parCfg).SweepSpecs(sweepSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Outcomes {
+		s, p := seq.Outcomes[i], par.Outcomes[i]
+		if s.Name != p.Name || s.NMI != p.NMI || s.Q != p.Q || s.FoundK != p.FoundK {
+			t.Fatalf("outcome %d diverged: sequential %+v vs parallel %+v", i, s, p)
+		}
+	}
+}
+
+func TestSweepSpecsRejectsBadInput(t *testing.T) {
+	r, _, _ := quick(t, 2)
+	if _, err := r.SweepSpecs(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	dup := []*scenario.Spec{scenario.NSites(2, 2, 890, 100), scenario.NSites(2, 2, 890, 100)}
+	if _, err := r.SweepSpecs(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names: err = %v", err)
+	}
+}

@@ -1,8 +1,8 @@
-// Package persist serialises measurement graphs and tomography results to
-// JSON, so a measurement campaign can be archived, shipped, re-clustered
-// offline, or compared across runs without re-measuring — the workflow a
-// real deployment of the paper's method needs (measurement is cheap but
-// not free; analysis is reusable).
+// Package persist serialises measurement graphs, tomography results and
+// scenario specs to JSON, so a measurement campaign can be archived,
+// shipped, re-clustered offline, or compared across runs without
+// re-measuring — the workflow a real deployment of the paper's method
+// needs (measurement is cheap but not free; analysis is reusable).
 package persist
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/scenario"
 )
 
 // GraphDoc is the JSON form of a measurement graph.
@@ -166,4 +167,46 @@ func ReadResult(r io.Reader) (*ResultDoc, error) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return &doc, nil
+}
+
+// WriteSpec writes a validated scenario spec as JSON. Spec files are the
+// declarative scenario interchange format: hand-written or generated, they
+// load back with LoadSpec and run via `bttomo -spec` or repro.RunSpec.
+func WriteSpec(w io.Writer, s *scenario.Spec) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadSpec reads and validates a scenario spec from JSON.
+func ReadSpec(r io.Reader) (*scenario.Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return scenario.Decode(data)
+}
+
+// SaveSpec writes a scenario spec to a file.
+func SaveSpec(path string, s *scenario.Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteSpec(f, s)
+}
+
+// LoadSpec reads a scenario spec from a file.
+func LoadSpec(path string) (*scenario.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpec(f)
 }

@@ -4,12 +4,14 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/scenario"
 )
 
 func sample() *graph.Graph {
@@ -170,5 +172,35 @@ func TestGraphRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Spec files must round-trip exactly: the registry-backed built-ins and a
+// generated family member survive Save/Load unchanged, and garbage is
+// rejected with validation intact.
+func TestSpecFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specs := append(scenario.BuiltinSpecs(), scenario.NSites(3, 4, 890, 100))
+	for _, s := range specs {
+		path := filepath.Join(dir, s.Name+".json")
+		if err := SaveSpec(path, s); err != nil {
+			t.Fatalf("%s: save: %v", s.Name, err)
+		}
+		back, err := LoadSpec(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("%s: spec changed in file round trip", s.Name)
+		}
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing spec file loaded")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Fatal("invalid spec accepted through ReadSpec")
+	}
+	if err := WriteSpec(&strings.Builder{}, &scenario.Spec{}); err == nil {
+		t.Fatal("WriteSpec serialised an invalid spec")
 	}
 }

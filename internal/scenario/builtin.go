@@ -1,0 +1,125 @@
+package scenario
+
+// The paper's six Grid'5000 datasets, retrofitted as declarative specs.
+// Each spec reproduces the corresponding topology constructor exactly —
+// same host names, host order, ground-truth labels and link parameters —
+// and the parity tests assert the compiled datasets measure
+// bit-identically to the legacy constructors (topology.TwoByTwo .. BGTL).
+//
+// The link classes mirror topology's shared link variables: "eth" is
+// HostLink, "uplink" is ClusterUplink, "bottleneck" is the Dell-Cisco
+// BordeauxBottleneck, "fast" is FastInterSwitch and "wan" is the Renater
+// WanLink with its 787 Mbit/s per-flow cap (§IV-A).
+
+// builtinLinks declares the Grid'5000 link classes on a builder.
+func builtinLinks(b *Builder) *Builder {
+	return b.
+		Link("eth", 890, 50e-6).
+		Link("uplink", 10000, 50e-6).
+		Link("bottleneck", 890, 50e-6).
+		Link("fast", 10000, 50e-6).
+		LinkPerFlow("wan", 10000, 4e-3, 787)
+}
+
+// backbone declares the Renater star (Fig. 6) with Lyon central: one
+// router switch per site, each trunked to the core over the WAN class.
+func backbone(b *Builder, sites ...string) *Builder {
+	b.Switch("renater-lyon-core")
+	for _, s := range sites {
+		b.Switch("router-"+s).Trunk("router-"+s, "renater-lyon-core", "wan")
+	}
+	return b
+}
+
+// bordeauxSite declares the three Bordeaux clusters (Fig. 7): Bordeplage
+// behind the Dell switch, Bordereau and Borderline behind fast switches
+// off Cisco, and the single 1 GbE Dell-Cisco inter-switch bottleneck.
+// Zero-count clusters are absent, as in topology.builder.bordeauxSite.
+func bordeauxSite(b *Builder, router string, plage, reau, line int, clusterPlage, clusterReau string) *Builder {
+	b.Switch("bordeaux-dell", "bordeaux-cisco").
+		Trunk("bordeaux-dell", "bordeaux-cisco", "bottleneck").
+		Trunk("bordeaux-cisco", router, "uplink")
+	if reau > 0 {
+		b.Switch("bordeaux-reau-sw").Trunk("bordeaux-reau-sw", "bordeaux-cisco", "fast")
+	}
+	if line > 0 {
+		b.Switch("bordeaux-line-sw").Trunk("bordeaux-line-sw", "bordeaux-cisco", "fast")
+	}
+	if plage > 0 {
+		b.Hosts("bordeplage", plage, "bordeaux-dell", "eth", clusterPlage)
+	}
+	if reau > 0 {
+		b.Hosts("bordereau", reau, "bordeaux-reau-sw", "eth", clusterReau)
+	}
+	if line > 0 {
+		b.Hosts("borderline", line, "bordeaux-line-sw", "eth", clusterReau)
+	}
+	return b
+}
+
+// specTwoByTwo mirrors topology.TwoByTwo (§IV-B1).
+func specTwoByTwo() *Spec {
+	b := builtinLinks(NewBuilder("2x2")).
+		Note("single logical cluster: the 1 GbE inter-switch link is not a bottleneck for two concurrent pairs").
+		Switch("router-bordeaux")
+	return bordeauxSite(b, "router-bordeaux", 2, 0, 2, "bordeaux", "bordeaux").MustSpec()
+}
+
+// specB mirrors topology.B (Fig. 8).
+func specB() *Spec {
+	b := builtinLinks(NewBuilder("B")).
+		Note("two logical clusters: Bordeplage | Bordereau+Borderline (site-admin ground truth, Fig. 7)").
+		Switch("router-bordeaux")
+	return bordeauxSite(b, "router-bordeaux", 32, 27, 5, "bordeplage", "bordereau+borderline").MustSpec()
+}
+
+// specBT mirrors topology.BT (Fig. 9).
+func specBT() *Spec {
+	b := builtinLinks(NewBuilder("BT")).
+		Note("three ground-truth partitions: Bordeplage | Bordereau+Borderline | Toulouse")
+	backbone(b, "bordeaux", "toulouse")
+	bordeauxSite(b, "router-bordeaux", 16, 12, 4, "bordeplage", "bordereau+borderline")
+	return b.FlatSite("toulouse", "router-toulouse", 32, "eth", "uplink").MustSpec()
+}
+
+// specGT mirrors topology.GT (Fig. 10).
+func specGT() *Spec {
+	b := builtinLinks(NewBuilder("GT")).
+		Note("one cluster per site (both sites flat)")
+	backbone(b, "grenoble", "toulouse")
+	return b.
+		FlatSite("grenoble", "router-grenoble", 32, "eth", "uplink").
+		FlatSite("toulouse", "router-toulouse", 32, "eth", "uplink").
+		MustSpec()
+}
+
+// specBGT mirrors topology.BGT (Fig. 11).
+func specBGT() *Spec {
+	b := builtinLinks(NewBuilder("BGT")).
+		Note("one cluster per site (Bordeaux nodes avoid the intra-site bottleneck)")
+	backbone(b, "bordeaux", "grenoble", "toulouse")
+	bordeauxSite(b, "router-bordeaux", 0, 27, 5, "bordeplage", "bordeaux")
+	return b.
+		FlatSite("grenoble", "router-grenoble", 32, "eth", "uplink").
+		FlatSite("toulouse", "router-toulouse", 32, "eth", "uplink").
+		MustSpec()
+}
+
+// specBGTL mirrors topology.BGTL (Fig. 12).
+func specBGTL() *Spec {
+	b := builtinLinks(NewBuilder("BGTL")).
+		Note("one cluster per site")
+	backbone(b, "bordeaux", "grenoble", "toulouse", "lyon")
+	bordeauxSite(b, "router-bordeaux", 0, 13, 3, "bordeplage", "bordeaux")
+	return b.
+		FlatSite("grenoble", "router-grenoble", 16, "eth", "uplink").
+		FlatSite("toulouse", "router-toulouse", 16, "eth", "uplink").
+		FlatSite("lyon", "router-lyon", 16, "eth", "uplink").
+		MustSpec()
+}
+
+// BuiltinSpecs returns fresh copies of the six paper datasets as specs,
+// in the order the paper presents them (2x2, B, BT, GT, BGT, BGTL).
+func BuiltinSpecs() []*Spec {
+	return []*Spec{specTwoByTwo(), specB(), specBT(), specGT(), specBGT(), specBGTL()}
+}

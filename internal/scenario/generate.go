@@ -1,0 +1,87 @@
+package scenario
+
+import "fmt"
+
+// Generators for parameterised synthetic scenario families. Each returns
+// a validated Spec, so a family member can be compiled directly, saved
+// as JSON, registered, or swept by the experiment harness — scenarios
+// beyond the paper's six datasets become one function call. Generators
+// panic on nonsensical shape parameters (like the topology package's
+// constructors); bandwidth/latency values are validated by the spec.
+
+// NSites generates a k-site star: hostsPerSite hosts per flat site,
+// intraMbps host links, interMbps site uplinks into a central core
+// switch. The ground truth is one cluster per site — recoverable
+// whenever interMbps is materially below the aggregate intra-site
+// bandwidth, the regime the paper's multi-site datasets (GT, BGT, BGTL)
+// live in.
+func NSites(sites, hostsPerSite int, intraMbps, interMbps float64) *Spec {
+	if sites < 1 || hostsPerSite < 1 {
+		panic("scenario: NSites needs at least one site and one host per site")
+	}
+	b := NewBuilder(fmt.Sprintf("nsites-%dx%d", sites, hostsPerSite)).
+		Note("one ground-truth cluster per site (generated NSites family)").
+		Link("intra", intraMbps, 50e-6).
+		Link("inter", interMbps, 4e-3).
+		Switch("core")
+	for i := 0; i < sites; i++ {
+		b.FlatSite(fmt.Sprintf("site%d", i), "core", hostsPerSite, "intra", "inter")
+	}
+	return b.MustSpec()
+}
+
+// FatTree generates a three-level hierarchical fabric: a root switch,
+// pods pod switches beneath it (spineMbps trunks), leavesPerPod leaf
+// switches per pod (leafMbps trunks) and hostsPerLeaf hosts per leaf
+// (hostMbps links). The ground truth is one cluster per pod: the spine
+// trunks are the declared bottlenecks, so choose spineMbps below
+// leafMbps for the truth to be physically meaningful — the multi-level
+// structure below it is what the hierarchy extension (§V) can recover.
+func FatTree(pods, leavesPerPod, hostsPerLeaf int, hostMbps, leafMbps, spineMbps float64) *Spec {
+	if pods < 1 || leavesPerPod < 1 || hostsPerLeaf < 1 {
+		panic("scenario: FatTree needs at least one pod, leaf and host")
+	}
+	b := NewBuilder(fmt.Sprintf("fattree-%dx%dx%d", pods, leavesPerPod, hostsPerLeaf)).
+		Note("one ground-truth cluster per pod; spine trunks are the bottlenecks (generated FatTree family)").
+		Link("host", hostMbps, 50e-6).
+		Link("leaf", leafMbps, 50e-6).
+		Link("spine", spineMbps, 200e-6).
+		Switch("root")
+	for p := 0; p < pods; p++ {
+		pod := fmt.Sprintf("pod%d", p)
+		b.Switch(pod).Trunk(pod, "root", "spine")
+		for l := 0; l < leavesPerPod; l++ {
+			leaf := fmt.Sprintf("%s-leaf%d", pod, l)
+			b.Switch(leaf).Trunk(leaf, pod, "leaf")
+			b.Hosts(fmt.Sprintf("p%dl%d", p, l), hostsPerLeaf, leaf, "host", pod)
+		}
+	}
+	return b.MustSpec()
+}
+
+// SkewedSites generates a star of sites with heterogeneous uplink
+// bandwidth: site i's uplink runs at interMbps * decay^i, with decay in
+// (0, 1]. It stresses the method's §I claim of working on heterogeneous
+// networks, where the inter-site contrast differs per site instead of
+// being uniform like the paper's Renater star. Ground truth is one
+// cluster per site.
+func SkewedSites(sites, hostsPerSite int, intraMbps, interMbps, decay float64) *Spec {
+	if sites < 1 || hostsPerSite < 1 {
+		panic("scenario: SkewedSites needs at least one site and one host per site")
+	}
+	if decay <= 0 || decay > 1 {
+		panic("scenario: SkewedSites needs decay in (0, 1]")
+	}
+	b := NewBuilder(fmt.Sprintf("skewed-%dx%d", sites, hostsPerSite)).
+		Note("one ground-truth cluster per site; uplink bandwidth decays geometrically across sites (generated SkewedSites family)").
+		Link("intra", intraMbps, 50e-6).
+		Switch("core")
+	uplink := interMbps
+	for i := 0; i < sites; i++ {
+		link := fmt.Sprintf("uplink%d", i)
+		b.Link(link, uplink, 4e-3)
+		b.FlatSite(fmt.Sprintf("site%d", i), "core", hostsPerSite, "intra", link)
+		uplink *= decay
+	}
+	return b.MustSpec()
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// The spec retrofit must be invisible to results: each built-in dataset
+// rebuilt from its spec has to measure bit-identically to the legacy Go
+// constructor. A small payload suffices — identity is structural, not a
+// convergence property.
+func parityOptions(iters int) core.Options {
+	opts := core.DefaultOptions()
+	opts.Iterations = iters
+	opts.BT.FileBytes = 300 * opts.BT.FragmentSize
+	return opts
+}
+
+func TestBuiltinSpecsMatchLegacyStructure(t *testing.T) {
+	for _, name := range topology.DatasetNames {
+		legacy := topology.Registry[name]()
+		spec, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %s not in scenario registry", name)
+		}
+		d, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		if d.Name != legacy.Name {
+			t.Errorf("%s: name %q vs legacy %q", name, d.Name, legacy.Name)
+		}
+		if d.TruthNote != legacy.TruthNote {
+			t.Errorf("%s: truth note %q vs legacy %q", name, d.TruthNote, legacy.TruthNote)
+		}
+		if d.N() != legacy.N() {
+			t.Fatalf("%s: %d hosts vs legacy %d", name, d.N(), legacy.N())
+		}
+		if got, want := spec.NumHosts(), legacy.N(); got != want {
+			t.Errorf("%s: spec.NumHosts() = %d, want %d", name, got, want)
+		}
+		for i := 0; i < d.N(); i++ {
+			if d.HostName(i) != legacy.HostName(i) {
+				t.Fatalf("%s: host %d named %q vs legacy %q", name, i, d.HostName(i), legacy.HostName(i))
+			}
+			if d.GroundTruth[i] != legacy.GroundTruth[i] {
+				t.Fatalf("%s: host %d truth %d vs legacy %d", name, i, d.GroundTruth[i], legacy.GroundTruth[i])
+			}
+		}
+		// Route-level parity: every host pair sees the same static path
+		// bandwidth, latency and hop count as on the legacy network.
+		for i := 0; i < d.N(); i++ {
+			for j := 0; j < d.N(); j++ {
+				if i == j {
+					continue
+				}
+				got := d.Net.Path(d.Hosts[i], d.Hosts[j])
+				want := legacy.Net.Path(legacy.Hosts[i], legacy.Hosts[j])
+				if got != want {
+					t.Fatalf("%s: path %d->%d = %+v, legacy %+v", name, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBuiltinSpecsMeasureBitIdenticallyToLegacy(t *testing.T) {
+	for _, name := range topology.DatasetNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			legacy := topology.Registry[name]()
+			specd, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.RunDataset(legacy, parityOptions(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.RunDataset(specd, parityOptions(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, got, want)
+		})
+	}
+}
+
+// assertSameResult compares two results bit-exactly: graph, partition,
+// modularity, NMI and measurement time.
+func assertSameResult(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if got.Graph.N() != want.Graph.N() {
+		t.Fatalf("graph has %d vertices, want %d", got.Graph.N(), want.Graph.N())
+	}
+	ge, we := got.Graph.Edges(), want.Graph.Edges()
+	if len(ge) != len(we) {
+		t.Fatalf("graph has %d edges, want %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ge[i], we[i])
+		}
+	}
+	if len(got.Partition.Labels) != len(want.Partition.Labels) {
+		t.Fatalf("partition sizes differ: %d vs %d", len(got.Partition.Labels), len(want.Partition.Labels))
+	}
+	for i := range got.Partition.Labels {
+		if got.Partition.Labels[i] != want.Partition.Labels[i] {
+			t.Fatalf("partition label %d differs: %d vs %d", i, got.Partition.Labels[i], want.Partition.Labels[i])
+		}
+	}
+	if got.Q != want.Q {
+		t.Fatalf("Q differs: %v vs %v", got.Q, want.Q)
+	}
+	if got.NMI != want.NMI && !(math.IsNaN(got.NMI) && math.IsNaN(want.NMI)) {
+		t.Fatalf("NMI differs: %v vs %v", got.NMI, want.NMI)
+	}
+	if got.TotalMeasurementTime != want.TotalMeasurementTime {
+		t.Fatalf("TotalMeasurementTime differs: %v vs %v", got.TotalMeasurementTime, want.TotalMeasurementTime)
+	}
+}
+
+// The registry must present the six built-ins first, in paper order.
+func TestRegistrySeededWithPaperOrder(t *testing.T) {
+	names := Names()
+	if len(names) < len(topology.DatasetNames) {
+		t.Fatalf("registry has %d names, want at least %d", len(names), len(topology.DatasetNames))
+	}
+	for i, want := range topology.DatasetNames {
+		if names[i] != want {
+			t.Fatalf("registry order %v does not start with paper order %v", names, topology.DatasetNames)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// The registry maps scenario names to specs. It seeds itself with the
+// paper's six datasets and accepts user-registered specs at runtime —
+// the public repro API (repro.RegisterSpec, repro.LoadSpec) and the CLIs
+// (`bttomo -spec`, `bttomo -list`) feed and read it. The registry is
+// safe for concurrent use.
+var (
+	regMu    sync.RWMutex
+	regSpecs = make(map[string]*Spec)
+	regOrder []string
+)
+
+func init() {
+	for _, s := range BuiltinSpecs() {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register validates the spec and adds it to the registry. Names are
+// unique: registering a name twice (including a built-in name) is an
+// error, so a scenario's meaning can never silently change mid-process.
+func Register(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regSpecs[s.Name]; dup {
+		return fmt.Errorf("scenario: %q is already registered", s.Name)
+	}
+	regSpecs[s.Name] = s.Clone()
+	regOrder = append(regOrder, s.Name)
+	return nil
+}
+
+// Lookup returns a copy of the registered spec with the given name.
+func Lookup(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := regSpecs[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// Names lists the registered scenario names in registration order: the
+// six built-ins in paper order first, then user registrations.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// New compiles the named registered scenario into a fresh dataset.
+func New(name string) (*topology.Dataset, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return s.Compile()
+}

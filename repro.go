@@ -40,6 +40,26 @@
 //	opts := repro.ParallelOptions(4) // DefaultOptions + Workers=4
 //	res, err := repro.Run(dataset, opts)
 //
+// # Custom scenarios
+//
+// The method is topology-agnostic, and so is the API: a scenario is data,
+// not code. A Spec declares link classes, the switch fabric, host groups
+// and the ground-truth clustering; it can be assembled with the fluent
+// Builder (NewSpec), generated for a synthetic family (NSitesSpec,
+// FatTreeSpec, SkewedSitesSpec), or loaded from a JSON file (LoadSpec).
+// RunSpec compiles and measures it in one call, and RegisterSpec adds it
+// to the same registry the built-in datasets live in, so NewDataset and
+// the CLIs (`bttomo -dataset`, `bttomo -list`) see it:
+//
+//	spec, err := repro.NewSpec("twin").
+//		Link("eth", 890, 50e-6).
+//		Link("wan", 1000, 4e-3).
+//		Switch("core").
+//		FlatSite("left", "core", 16, "eth", "wan").
+//		FlatSite("right", "core", 16, "eth", "wan").
+//		Spec()
+//	res, err := repro.RunSpec(spec, repro.ParallelOptions(4))
+//
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
 // EXPERIMENTS.md for measured-versus-paper results.
@@ -49,6 +69,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -87,19 +108,23 @@ func ParallelOptions(workers int) Options {
 	return opts
 }
 
-// Datasets lists the built-in dataset names in the order the paper
-// presents them: 2x2, B, BT, GT, BGT, BGTL.
+// Datasets lists the registered scenario names: the six built-ins in the
+// order the paper presents them (2x2, B, BT, GT, BGT, BGTL) followed by
+// any specs added with RegisterSpec, in registration order.
 func Datasets() []string {
-	return append([]string(nil), topology.DatasetNames...)
+	return scenario.Names()
 }
 
-// NewDataset builds a named built-in dataset (fresh simulator state).
+// NewDataset compiles a registered scenario (fresh simulator state). The
+// six built-in datasets are themselves spec-backed: "B" compiles the same
+// declarative Spec a user could have written by hand, and measures
+// bit-identically to the paper's hard-wired topology.
 func NewDataset(name string) (*Dataset, error) {
-	ctor, ok := topology.Registry[name]
+	spec, ok := scenario.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("repro: unknown dataset %q (have %v)", name, topology.DatasetNames)
+		return nil, fmt.Errorf("repro: unknown dataset %q (have %v)", name, Datasets())
 	}
-	return ctor(), nil
+	return spec.Compile()
 }
 
 // Run performs BitTorrent tomography on a dataset and scores the found
@@ -115,6 +140,59 @@ func RunNamed(name string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return Run(d, opts)
+}
+
+// Spec is a declarative measurement scenario: link parameter classes, the
+// switch fabric, host groups and the ground-truth logical clustering. It
+// serialises to JSON (LoadSpec/SaveSpec), compiles to a Dataset
+// (Spec.Compile) and registers into the dataset registry (RegisterSpec).
+type Spec = scenario.Spec
+
+// SpecBuilder assembles a Spec fluently; see NewSpec.
+type SpecBuilder = scenario.Builder
+
+// NewSpec starts a fluent scenario declaration. Finish the chain with
+// Spec() (a validated declarative spec) or Build() (a compiled,
+// ready-to-measure Dataset).
+func NewSpec(name string) *SpecBuilder { return scenario.NewBuilder(name) }
+
+// RegisterSpec validates the spec and adds it to the dataset registry
+// under its name, next to the six built-ins: NewDataset, RunNamed,
+// Datasets and the CLIs all see it. Names are unique; registering an
+// existing name (including a built-in) is an error.
+func RegisterSpec(s *Spec) error { return scenario.Register(s) }
+
+// RunSpec compiles a scenario spec and performs tomography on it — the
+// one-call path from a declarative scenario (hand-written, generated or
+// file-loaded) to a scored clustering. The spec does not need to be
+// registered.
+func RunSpec(s *Spec, opts Options) (*Result, error) {
+	d, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return Run(d, opts)
+}
+
+// NSitesSpec generates the k-site star family: hostsPerSite hosts per
+// flat site, intraMbps host links, interMbps uplinks, one ground-truth
+// cluster per site.
+func NSitesSpec(sites, hostsPerSite int, intraMbps, interMbps float64) *Spec {
+	return scenario.NSites(sites, hostsPerSite, intraMbps, interMbps)
+}
+
+// FatTreeSpec generates a three-level hierarchical fabric (root, pods,
+// leaves) with one ground-truth cluster per pod; choose spineMbps below
+// leafMbps so the declared pod boundaries are real bottlenecks.
+func FatTreeSpec(pods, leavesPerPod, hostsPerLeaf int, hostMbps, leafMbps, spineMbps float64) *Spec {
+	return scenario.FatTree(pods, leavesPerPod, hostsPerLeaf, hostMbps, leafMbps, spineMbps)
+}
+
+// SkewedSitesSpec generates a star of sites whose uplink bandwidth decays
+// geometrically (site i uplinks at interMbps * decay^i) — a heterogeneous
+// variant of the NSites family.
+func SkewedSitesSpec(sites, hostsPerSite int, intraMbps, interMbps, decay float64) *Spec {
+	return scenario.SkewedSites(sites, hostsPerSite, intraMbps, interMbps, decay)
 }
 
 // HierarchyNode is one cluster of a hierarchical decomposition — the

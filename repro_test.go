@@ -12,12 +12,17 @@ func smallOptions(iters int) Options {
 }
 
 func TestDatasetsList(t *testing.T) {
+	// The registry is extensible (RegisterSpec), but the six built-ins
+	// always come first, in paper order.
 	names := Datasets()
-	if len(names) != 6 {
-		t.Fatalf("Datasets() = %v, want 6 entries", names)
+	if len(names) < 6 {
+		t.Fatalf("Datasets() = %v, want at least the 6 built-ins", names)
 	}
-	if names[0] != "2x2" || names[5] != "BGTL" {
-		t.Fatalf("dataset order = %v", names)
+	want := []string{"2x2", "B", "BT", "GT", "BGT", "BGTL"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("dataset order = %v, want prefix %v", names, want)
+		}
 	}
 	// The returned slice is a copy; mutating it must not corrupt the
 	// registry order.
@@ -144,6 +149,103 @@ func TestFacadeHierarchy(t *testing.T) {
 	score := HierarchicalNMI([]int{0, 0, 0, 0}, h)
 	if score < 0 || score > 1 {
 		t.Fatalf("hierarchical NMI out of range: %g", score)
+	}
+}
+
+// The whole declarative loop through the public API: build a spec
+// fluently, archive it as JSON, load it back, register it, and run it —
+// with parallel measurement — both via RunSpec and via its registry name.
+func TestSpecEndToEnd(t *testing.T) {
+	spec, err := NewSpec("e2e-twin").
+		Note("two flat sites").
+		Link("eth", 890, 50e-6).
+		Link("wan", 50, 4e-3).
+		Switch("core").
+		FlatSite("left", "core", 4, "eth", "wan").
+		FlatSite("right", "core", 4, "eth", "wan").
+		Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/twin.json"
+	if err := SaveSpec(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := smallOptions(4)
+	// Small sites need more per-edge signal than the built-in runs.
+	opts.BT.FileBytes = 3000 * opts.BT.FragmentSize
+	opts.Workers = 2 // parallel measurement straight from a file-loaded spec
+	res, err := RunSpec(loaded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition.NumClusters() != 2 || res.NMI < 0.999 {
+		t.Fatalf("spec run found %d clusters at NMI %.3f, want 2 at 1.0",
+			res.Partition.NumClusters(), res.NMI)
+	}
+
+	if err := RegisterSpec(loaded); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range Datasets() {
+		if name == "e2e-twin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered spec missing from Datasets() = %v", Datasets())
+	}
+	viaName, err := RunNamed("e2e-twin", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaName.NMI != res.NMI || viaName.Q != res.Q {
+		t.Fatalf("registry run diverged from direct run: NMI %v vs %v, Q %v vs %v",
+			viaName.NMI, res.NMI, viaName.Q, res.Q)
+	}
+	if err := RegisterSpec(loaded); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// The committed spec fixture (also exercised by `make spec-smoke` and the
+// CI workflow through `bttomo -spec`) must stay loadable and true to its
+// declared shape.
+func TestSpecFixtureLoads(t *testing.T) {
+	spec, err := LoadSpec("testdata/specs/twin.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "twin" || spec.NumHosts() != 8 || len(spec.Clusters()) != 2 {
+		t.Fatalf("fixture = %s with %d hosts, %d clusters; want twin/8/2",
+			spec.Name, spec.NumHosts(), len(spec.Clusters()))
+	}
+	if _, err := spec.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The generator re-exports must produce runnable specs.
+func TestGeneratorSpecsCompileAndRun(t *testing.T) {
+	for _, spec := range []*Spec{
+		NSitesSpec(2, 3, 890, 100),
+		FatTreeSpec(2, 2, 2, 890, 890, 100),
+		SkewedSitesSpec(2, 3, 890, 200, 0.5),
+	} {
+		d, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if _, err := Run(d, smallOptions(2)); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
 	}
 }
 
