@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke ci
 
 all: build
 
@@ -45,4 +45,14 @@ spec-smoke:
 	$(GO) run ./cmd/bttomo -spec testdata/specs/twin.json -iterations 3 -scale 0.2 -workers 2
 	$(GO) run ./cmd/bttomo -list
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke bench
+# dynamics-smoke runs the time-varying drift fixture (link drift, a
+# transient failure, churn, a burst) end-to-end and asserts the dynamics
+# determinism contract: Workers=1 and Workers=4 must archive bit-identical
+# measurement graphs.
+dynamics-smoke:
+	$(GO) run ./cmd/bttomo -spec testdata/specs/drift.json -iterations 6 -scale 0.1 -workers 1 -save /tmp/bttomo_drift_w1.json
+	$(GO) run ./cmd/bttomo -spec testdata/specs/drift.json -iterations 6 -scale 0.1 -workers 4 -save /tmp/bttomo_drift_w4.json
+	cmp /tmp/bttomo_drift_w1.json /tmp/bttomo_drift_w4.json
+	@rm -f /tmp/bttomo_drift_w1.json /tmp/bttomo_drift_w4.json
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke bench

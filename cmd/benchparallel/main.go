@@ -41,6 +41,18 @@ type Report struct {
 	Identical bool    `json:"identical"`
 	NMI       float64 `json:"nmi"`
 	SimSec    float64 `json:"simulated_seconds"`
+
+	// The dynamics block times the same comparison on a DriftSites
+	// scenario with a non-empty event timeline (link drift, churn,
+	// bursts, a transient failure), so the bench trajectory also tracks
+	// the dynamics replay path.
+	DynamicsScenario          string  `json:"dynamics_scenario"`
+	DynamicsEvents            int     `json:"dynamics_events"`
+	DynamicsSequentialSeconds float64 `json:"dynamics_sequential_seconds"`
+	DynamicsParallelSeconds   float64 `json:"dynamics_parallel_seconds"`
+	DynamicsSpeedup           float64 `json:"dynamics_speedup"`
+	DynamicsIdentical         bool    `json:"dynamics_identical"`
+	DynamicsNMI               float64 `json:"dynamics_nmi"`
 }
 
 func main() {
@@ -78,6 +90,19 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		return err
 	}
 
+	// The same comparison with a non-empty dynamics timeline: the replay
+	// path clones and mutates per-iteration network state, so it is
+	// timed separately in the artifact.
+	driftSpec := repro.DriftSitesSpec(3, 8, 890, 100, 0.5)
+	dtime1, dres1, err := timedSpecRun(driftSpec, opts, 1)
+	if err != nil {
+		return err
+	}
+	dtimeN, dresN, err := timedSpecRun(driftSpec, opts, workers)
+	if err != nil {
+		return err
+	}
+
 	rep := Report{
 		Dataset:           dataset,
 		Hosts:             res1.Graph.N(),
@@ -90,9 +115,19 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		Identical:         identical(res1, resN),
 		NMI:               resN.NMI,
 		SimSec:            resN.TotalMeasurementTime,
+
+		DynamicsScenario:          driftSpec.Name,
+		DynamicsEvents:            len(driftSpec.Dynamics),
+		DynamicsSequentialSeconds: dtime1,
+		DynamicsParallelSeconds:   dtimeN,
+		DynamicsIdentical:         identical(dres1, dresN),
+		DynamicsNMI:               dresN.NMI,
 	}
 	if timeN > 0 {
 		rep.Speedup = time1 / timeN
+	}
+	if dtimeN > 0 {
+		rep.DynamicsSpeedup = dtime1 / dtimeN
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -110,10 +145,15 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		}
 		fmt.Printf("%s: %d hosts, %d iterations at %.0f%% payload: %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
 			dataset, rep.Hosts, iters, scale*100, time1, timeN, workers, rep.Speedup, rep.Identical)
+		fmt.Printf("%s (%d dynamics events): %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
+			rep.DynamicsScenario, rep.DynamicsEvents, dtime1, dtimeN, workers, rep.DynamicsSpeedup, rep.DynamicsIdentical)
 		fmt.Println("wrote", out)
 	}
 	if !rep.Identical {
 		return fmt.Errorf("workers=%d result diverged from workers=1 — determinism contract broken", workers)
+	}
+	if !rep.DynamicsIdentical {
+		return fmt.Errorf("workers=%d dynamics result diverged from workers=1 — determinism contract broken", workers)
 	}
 	return nil
 }
@@ -125,6 +165,23 @@ func timedRun(dataset string, opts repro.Options, workers int) (float64, *repro.
 	res, err := repro.RunNamed(dataset, opts)
 	if err != nil {
 		return 0, nil, fmt.Errorf("workers=%d: %w", workers, err)
+	}
+	return time.Since(start).Seconds(), res, nil
+}
+
+// timedSpecRun is timedRun on a freshly compiled scenario spec (the
+// compile is outside the timed section; the measurement is what the
+// trajectory tracks).
+func timedSpecRun(spec *repro.Spec, opts repro.Options, workers int) (float64, *repro.Result, error) {
+	d, err := spec.Compile()
+	if err != nil {
+		return 0, nil, err
+	}
+	opts.Workers = workers
+	start := time.Now()
+	res, err := repro.Run(d, opts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s workers=%d: %w", spec.Name, workers, err)
 	}
 	return time.Since(start).Seconds(), res, nil
 }

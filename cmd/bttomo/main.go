@@ -7,6 +7,7 @@
 //
 //	bttomo -dataset GT -iterations 10 -scale 0.25 -seed 7 -fig13
 //	bttomo -spec myscenario.json -workers 4   # run a JSON scenario spec
+//	bttomo -spec drift.json -dynamics=false   # ignore the spec's Dynamics timeline
 //	bttomo -list                              # show the scenario registry
 //	bttomo -dataset B -save b.json        # archive the measurement graph
 //	bttomo -load b.json                   # re-cluster an archived graph
@@ -32,6 +33,7 @@ func main() {
 	var (
 		dataset    = flag.String("dataset", "GT", "registered dataset or scenario: "+strings.Join(repro.Datasets(), ", "))
 		spec       = flag.String("spec", "", "run a declarative scenario spec from this JSON file instead of -dataset")
+		dynamics   = flag.Bool("dynamics", true, "replay the scenario's Dynamics timeline (false measures the static base topology)")
 		list       = flag.Bool("list", false, "print the scenario registry (built-ins + registered specs) and exit")
 		iterations = flag.Int("iterations", 10, "number of BitTorrent broadcast iterations")
 		scale      = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
@@ -62,6 +64,9 @@ func main() {
 			d, err := buildDataset(*dataset, *spec)
 			if err != nil {
 				return err
+			}
+			if !*dynamics {
+				d.Timeline = nil
 			}
 			return run(d, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save)
 		}
@@ -137,8 +142,12 @@ func run(d *repro.Dataset, iterations int, scale float64, seed int64, workers in
 	if workers > 0 {
 		par = fmt.Sprintf("%d workers", workers)
 	}
-	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes (%s)\n\n",
+	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes (%s)\n",
 		opts.Iterations, opts.BT.NumFragments(), opts.BT.FragmentSize, par)
+	if n := d.Timeline.Len(); n > 0 {
+		fmt.Printf("dynamics: %d scripted events replayed per iteration (link drift, failures, churn, bursts)\n", n)
+	}
+	fmt.Println()
 
 	res, err := repro.Run(d, opts)
 	if err != nil {

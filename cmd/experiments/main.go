@@ -7,6 +7,7 @@
 //	experiments                 # full paper scale, all experiments
 //	experiments -scale 0.1      # 10% payload for a quick pass
 //	experiments -run datasets   # a single experiment
+//	experiments -experiment drift   # alias for -run: the E17 dynamics sweep
 //	experiments -specs a.json,b.json -workers 4  # sweep scenario specs
 package main
 
@@ -24,15 +25,25 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
-		scale   = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
-		iters   = flag.Int("iterations", 0, "override iteration counts (0 = paper values)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "results", "directory for CSV/DOT/SVG artifacts (empty to skip)")
-		workers = flag.Int("workers", 0, "parallel workers for measurements, dataset sweeps and the experiment fan-out (0/1 = sequential)")
-		specs   = flag.String("specs", "", "comma-separated scenario spec JSON files: sweep them instead of the paper experiments")
+		run = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names, ", "))
+		// -experiment is an alias for -run kept for discoverability
+		// (`experiments -experiment drift`).
+		experiment = flag.String("experiment", "", "alias for -run")
+		scale      = flag.Float64("scale", 1.0, "broadcast payload scale (1.0 = the paper's 239 MB)")
+		iters      = flag.Int("iterations", 0, "override iteration counts (0 = paper values)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "results", "directory for CSV/DOT/SVG artifacts (empty to skip)")
+		workers    = flag.Int("workers", 0, "parallel workers for measurements, dataset sweeps and the experiment fan-out (0/1 = sequential)")
+		specs      = flag.String("specs", "", "comma-separated scenario spec JSON files: sweep them instead of the paper experiments")
 	)
 	flag.Parse()
+	if *experiment != "" {
+		if *run != "all" && *run != *experiment {
+			fmt.Fprintf(os.Stderr, "experiments: -run %s conflicts with -experiment %s; pass one\n", *run, *experiment)
+			os.Exit(1)
+		}
+		*run = *experiment
+	}
 
 	r := experiments.New(experiments.Config{
 		Scale:      *scale,

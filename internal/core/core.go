@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bittorrent"
 	"repro/internal/cluster"
+	"repro/internal/dynamics"
 	"repro/internal/graph"
 	"repro/internal/nmi"
 	"repro/internal/sim"
@@ -66,8 +67,23 @@ type Options struct {
 	// traffic depresses all links it crosses, while the relative
 	// intra/inter contrast survives. Background traffic is stateful
 	// across iterations, so it requires the shared-engine path: setting
-	// it together with Workers > 0 is an error.
+	// it together with Workers > 0 (or with Dynamics, whose replay runs
+	// on per-iteration replicas) is an error. Deprecated in favour of
+	// scripted `burst` events in a scenario's Dynamics timeline, which
+	// model the same cross traffic deterministically and compose with
+	// any worker count.
 	BackgroundFlows int
+	// Dynamics, when non-empty, is the compiled network-dynamics
+	// timeline replayed on every measurement iteration: link capacity
+	// drift, link failures/recoveries, timed cross-traffic bursts, and
+	// host churn (iterations measure only the hosts active in them, and
+	// NMI is scored against the active hosts). The timeline must have
+	// been compiled against this run's network and host order —
+	// RunDataset wires a scenario spec's timeline automatically. Replay
+	// needs a private replica per iteration, so a run with Dynamics
+	// always takes the replica path: Workers == 0 behaves as Workers ==
+	// 1, and results stay bit-identical for any worker count.
+	Dynamics *dynamics.Timeline
 	// Workers, when positive, runs the measurement iterations on a pool
 	// of that many concurrent workers. Each iteration already draws from
 	// an independent deterministic RNG stream, so iterations are
@@ -134,6 +150,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: BackgroundFlows=%d needs engine state shared across iterations and cannot run with Workers=%d; use Workers=0",
 			o.BackgroundFlows, o.Workers)
 	}
+	if o.BackgroundFlows > 0 && o.Dynamics.Len() > 0 {
+		return fmt.Errorf("core: BackgroundFlows=%d needs the shared engine and cannot run with a Dynamics timeline; script `burst` events instead",
+			o.BackgroundFlows)
+	}
 	return nil
 }
 
@@ -150,10 +170,17 @@ type IterationRecord struct {
 	// Q is the modularity of Partition.
 	Q float64
 	// NMI is the LFK NMI of Partition against the ground truth; NaN if
-	// no truth was supplied or clustering was skipped.
+	// no truth was supplied or clustering was skipped. When the run has
+	// a Dynamics timeline with churn, the score is restricted to the
+	// hosts active in this iteration.
 	NMI float64
 	// Clustered records whether clustering ran for this iteration.
 	Clustered bool
+	// ActiveHosts lists the dense host indices that participated in this
+	// iteration's broadcast, ascending; nil when every host did. Only a
+	// Dynamics timeline with churn produces subsets. The slice is shared
+	// with the run's internal schedule — treat it as read-only.
+	ActiveHosts []int
 }
 
 // Result is the output of a tomography run.
@@ -181,7 +208,10 @@ type Result struct {
 // With opts.Workers == 0 every broadcast runs in sequence on the caller's
 // engine and network. With opts.Workers >= 1 each iteration runs on a
 // private replica of net (which must be idle) and the caller's engine is
-// left untouched; see Options.Workers for the determinism contract.
+// left untouched; see Options.Workers for the determinism contract. A
+// non-empty opts.Dynamics timeline always takes the replica path and
+// replays scripted link drift, failures, bursts and host churn per
+// iteration; see Options.Dynamics.
 func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Options) (*Result, error) {
 	n := len(hosts)
 	if n < 2 {
@@ -194,10 +224,20 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 		return nil, err
 	}
 	rng := sim.NewRNG(opts.Seed)
-	m := newMerger(net, hosts, truth, opts, rng)
+	plans, err := planIterations(opts.Dynamics, hosts, opts)
+	if err != nil {
+		return nil, err
+	}
+	if plans != nil && opts.Workers == 0 {
+		// Dynamics replay mutates per-iteration network state, so it
+		// always runs on private replicas; a single worker reproduces
+		// the sequential schedule bit-identically.
+		opts.Workers = 1
+	}
+	m := newMerger(net, hosts, truth, opts, rng, plans)
 
 	if opts.Workers > 0 {
-		if err := runParallel(net, hosts, opts, rng, m); err != nil {
+		if err := runParallel(net, hosts, opts, rng, m, plans); err != nil {
 			return nil, err
 		}
 		return m.res, nil
@@ -229,18 +269,59 @@ func broadcastConfig(opts Options, it, n int) bittorrent.Config {
 	return cfg
 }
 
+// iterPlan is one iteration's share of a dynamics timeline: which hosts
+// broadcast, and their dense indices in the run's full host list.
+type iterPlan struct {
+	hosts  []int // vertex ids to broadcast over
+	active []int // dense indices into the run's host list; nil = all
+}
+
+// planIterations precomputes the per-iteration host sets of a dynamics
+// timeline (nil when there is no timeline). The plan is read-only during
+// the run and shared by all workers; with churn, broadcast roots
+// (Options.BT.Root, RotateRoot) index into the iteration's *active* host
+// list, so the root never names a departed host — but a fixed root must
+// fit the smallest active set, which is rejected here up front rather
+// than failing mid-run.
+func planIterations(tl *dynamics.Timeline, hosts []int, opts Options) ([]iterPlan, error) {
+	if tl.Len() == 0 {
+		return nil, nil
+	}
+	if tl.NumHosts() != len(hosts) {
+		return nil, fmt.Errorf("core: dynamics timeline was compiled for %d hosts, run has %d",
+			tl.NumHosts(), len(hosts))
+	}
+	plans := make([]iterPlan, opts.Iterations+1)
+	for it := 1; it <= opts.Iterations; it++ {
+		active := tl.ActiveHosts(it)
+		if active == nil {
+			plans[it] = iterPlan{hosts: hosts}
+			continue
+		}
+		sub := make([]int, len(active))
+		for j, a := range active {
+			sub[j] = hosts[a]
+		}
+		if !opts.RotateRoot && opts.BT.Root >= len(sub) {
+			return nil, fmt.Errorf("core: broadcast root %d out of range for iteration %d, whose churned swarm has only %d hosts (the root indexes the active host list)",
+				opts.BT.Root, it, len(sub))
+		}
+		plans[it] = iterPlan{hosts: sub, active: active}
+	}
+	return plans, nil
+}
+
 // runParallel fans the measurement iterations out over a pool of
 // opts.Workers workers, each measuring on its own engine+network replica,
 // and merges the broadcasts in iteration order. On error it stops handing
 // out new iterations, drains the in-flight ones, and reports the error of
 // the lowest-numbered failed iteration (so the reported failure does not
 // depend on goroutine scheduling).
-func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m *merger) error {
+func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m *merger, plans []iterPlan) error {
 	if net.ActiveFlows() > 0 || net.PendingFlows() > 0 {
 		return fmt.Errorf("core: Workers=%d needs an idle network to replicate, have %d active and %d pending flows",
 			opts.Workers, net.ActiveFlows(), net.PendingFlows())
 	}
-	n := len(hosts)
 	workers := opts.Workers
 	if workers > opts.Iterations {
 		workers = opts.Iterations
@@ -272,7 +353,15 @@ func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m
 			for it := range tasks {
 				replicaEng := sim.NewEngine()
 				replica := net.Clone(replicaEng)
-				bres, err := bittorrent.RunBroadcast(replicaEng, replica, hosts, broadcastConfig(opts, it, n), rng.Streamf("broadcast", it))
+				iterHosts := hosts
+				if plans != nil {
+					// Replay the timeline on this iteration's private
+					// replica: earlier iterations' link state applies
+					// now, this iteration's events fire mid-broadcast.
+					opts.Dynamics.Apply(it, replicaEng, replica)
+					iterHosts = plans[it].hosts
+				}
+				bres, err := bittorrent.RunBroadcast(replicaEng, replica, iterHosts, broadcastConfig(opts, it, len(iterHosts)), rng.Streamf("broadcast", it))
 				results <- outcome{it: it, bres: bres, err: err}
 			}
 		}()
@@ -342,41 +431,57 @@ type merger struct {
 	truth []int
 	n     int
 	rng   *sim.RNG
+	// plans is the per-iteration dynamics schedule (nil without one);
+	// with churn it maps each broadcast's dense indices back to the
+	// run's full host list.
+	plans []iterPlan
 	// counts accumulates exchanged fragments (the numerator of Eq. 2).
 	counts *graph.Graph
 	// window is a ring of the last Window broadcasts, kept so retirement
 	// does not depend on IterationRecord.Broadcast retention.
-	window []*bittorrent.Result
+	window []measured
 	res    *Result
 }
 
-func newMerger(net *simnet.Network, hosts, truth []int, opts Options, rng *sim.RNG) *merger {
+// measured pairs a broadcast with the active-host mapping it ran under,
+// so windowed retirement subtracts the same edges addition added.
+type measured struct {
+	bres   *bittorrent.Result
+	active []int
+}
+
+func newMerger(net *simnet.Network, hosts, truth []int, opts Options, rng *sim.RNG, plans []iterPlan) *merger {
 	n := len(hosts)
 	counts := graph.New(n)
 	for i := 0; i < n; i++ {
 		counts.SetLabel(i, net.Name(hosts[i]))
 	}
-	m := &merger{opts: opts, truth: truth, n: n, rng: rng, counts: counts, res: &Result{}}
+	m := &merger{opts: opts, truth: truth, n: n, rng: rng, plans: plans, counts: counts, res: &Result{}}
 	if opts.Window > 0 {
-		m.window = make([]*bittorrent.Result, opts.Window)
+		m.window = make([]measured, opts.Window)
 	}
 	return m
 }
 
 // add merges iteration it. Calls must arrive with it = 1, 2, 3, ...
 func (m *merger) add(it int, bres *bittorrent.Result) {
+	var active []int
+	if m.plans != nil {
+		active = m.plans[it].active
+	}
 	m.res.TotalMeasurementTime += bres.Duration
-	m.applyCounts(bres, 1)
+	m.applyCounts(bres, active, 1)
 	if m.opts.Window > 0 {
 		// Sliding window: retire the iteration that fell out. Iteration
 		// it-Window lives in the very slot iteration it is about to take.
 		slot := (it - 1) % m.opts.Window
 		if it > m.opts.Window {
-			m.applyCounts(m.window[slot], -1)
+			old := m.window[slot]
+			m.applyCounts(old.bres, old.active, -1)
 		}
-		m.window[slot] = bres
+		m.window[slot] = measured{bres: bres, active: active}
 	}
-	rec := IterationRecord{Iteration: it, NMI: nan()}
+	rec := IterationRecord{Iteration: it, NMI: nan(), ActiveHosts: active}
 	if !m.opts.DiscardBroadcasts {
 		rec.Broadcast = bres
 	}
@@ -393,7 +498,7 @@ func (m *merger) add(it int, bres *bittorrent.Result) {
 		rec.Q = lou.Q
 		rec.Clustered = true
 		if m.truth != nil {
-			rec.NMI = nmi.LFKPartition(m.truth, lou.Partition.Labels)
+			rec.NMI = scoreNMI(m.truth, lou.Partition.Labels, active)
 		}
 		if it == m.opts.Iterations {
 			m.res.Graph = mean
@@ -406,20 +511,52 @@ func (m *merger) add(it int, bres *bittorrent.Result) {
 }
 
 // applyCounts adds (sign=+1) or retires (sign=-1) one broadcast's fragment
-// counts.
-func (m *merger) applyCounts(bres *bittorrent.Result, sign float64) {
-	for a := 0; a < m.n; a++ {
-		for b := a + 1; b < m.n; b++ {
+// counts. active maps the broadcast's dense indices back to the run's
+// host indices (nil = identity: every host participated).
+func (m *merger) applyCounts(bres *bittorrent.Result, active []int, sign float64) {
+	k := m.n
+	if active != nil {
+		k = len(active)
+	}
+	idx := func(i int) int {
+		if active == nil {
+			return i
+		}
+		return active[i]
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
 			if w := bres.Exchanged(a, b); w > 0 {
-				m.counts.AddWeight(a, b, sign*float64(w))
+				m.counts.AddWeight(idx(a), idx(b), sign*float64(w))
 			}
 		}
 	}
 }
 
+// scoreNMI scores found against truth, restricted to the active host
+// indices when churn removed hosts from the measured iteration: a host
+// that is not part of the swarm cannot be asked for, and must not dilute,
+// the clustering answer.
+func scoreNMI(truth, found, active []int) float64 {
+	if active == nil {
+		return nmi.LFKPartition(truth, found)
+	}
+	ts := make([]int, len(active))
+	fs := make([]int, len(active))
+	for i, a := range active {
+		ts[i], fs[i] = truth[a], found[a]
+	}
+	return nmi.LFKPartition(ts, fs)
+}
+
 // RunDataset runs tomography on a topology.Dataset against its ground
-// truth.
+// truth. A dataset compiled from a scenario spec with a Dynamics section
+// carries its timeline (Dataset.Timeline); unless opts.Dynamics is
+// already set, the dataset's timeline is replayed automatically.
 func RunDataset(d *topology.Dataset, opts Options) (*Result, error) {
+	if opts.Dynamics == nil {
+		opts.Dynamics = d.Timeline
+	}
 	return Run(d.Eng, d.Net, d.Hosts, d.GroundTruth, opts)
 }
 

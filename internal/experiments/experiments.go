@@ -108,8 +108,9 @@ func (r *Runner) saveCSV(name string, t *report.Table) error {
 }
 
 // Names lists the runnable experiments in paper order, followed by the
-// Future-Work extensions (E15 hierarchy, E16 randomized stress).
-var Names = []string{"fig4", "fig5", "efficiency", "cost", "netpipe", "datasets", "ablation", "hierarchy", "stress"}
+// Future-Work extensions (E15 hierarchy, E16 randomized stress, E17
+// network drift).
+var Names = []string{"fig4", "fig5", "efficiency", "cost", "netpipe", "datasets", "ablation", "hierarchy", "stress", "drift"}
 
 // Run executes one named experiment.
 func (r *Runner) Run(name string) error {
@@ -140,6 +141,9 @@ func (r *Runner) Run(name string) error {
 		return err
 	case "stress":
 		_, err := r.Stress()
+		return err
+	case "drift":
+		_, err := r.Drift()
 		return err
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)

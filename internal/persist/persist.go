@@ -11,11 +11,25 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/scenario"
 )
+
+// createFile creates path for writing, first creating any missing parent
+// directories: archive paths are routinely date- or campaign-structured
+// ("runs/2026-07/gt.json"), and failing on a missing directory turns a
+// finished measurement into an error.
+func createFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
 
 // GraphDoc is the JSON form of a measurement graph.
 type GraphDoc struct {
@@ -86,9 +100,10 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	return DecodeGraph(&doc)
 }
 
-// SaveGraph writes a graph to a file.
+// SaveGraph writes a graph to a file, creating missing parent
+// directories.
 func SaveGraph(path string, g *graph.Graph) error {
-	f, err := os.Create(path)
+	f, err := createFile(path)
 	if err != nil {
 		return err
 	}
@@ -191,9 +206,10 @@ func ReadSpec(r io.Reader) (*scenario.Spec, error) {
 	return scenario.Decode(data)
 }
 
-// SaveSpec writes a scenario spec to a file.
+// SaveSpec writes a scenario spec to a file, creating missing parent
+// directories.
 func SaveSpec(path string, s *scenario.Spec) error {
-	f, err := os.Create(path)
+	f, err := createFile(path)
 	if err != nil {
 		return err
 	}

@@ -204,3 +204,28 @@ func TestSpecFileRoundTrip(t *testing.T) {
 		t.Fatal("WriteSpec serialised an invalid spec")
 	}
 }
+
+func TestSaveCreatesParentDirectories(t *testing.T) {
+	// Archive paths are routinely campaign-structured; Save* must create
+	// missing parents instead of erroring.
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "campaign", "2026-07", "twin.json")
+	spec := scenario.NSites(2, 4, 890, 100)
+	if err := SaveSpec(specPath, spec); err != nil {
+		t.Fatalf("SaveSpec into missing directories: %v", err)
+	}
+	back, err := LoadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatal("spec changed through nested-directory round trip")
+	}
+	graphPath := filepath.Join(dir, "graphs", "deep", "nested", "g.json")
+	if err := SaveGraph(graphPath, sample()); err != nil {
+		t.Fatalf("SaveGraph into missing directories: %v", err)
+	}
+	if _, err := LoadGraph(graphPath); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dynamics"
+)
+
+func dynamicBuilder() *Builder {
+	return NewBuilder("dyn").
+		Link("eth", 890, 50e-6).
+		Link("wan", 100, 4e-3).
+		Switch("core").
+		FlatSite("left", "core", 4, "eth", "wan").
+		FlatSite("right", "core", 4, "eth", "wan")
+}
+
+func TestSpecDynamicsJSONRoundTrip(t *testing.T) {
+	spec, err := dynamicBuilder().
+		LinkScale(2, "wan", 0.5).
+		LinkDown(3, 1, "left-sw|core").
+		LinkUp(3, 4, "left-sw|core").
+		HostLeave(4, "right-3").
+		HostJoin(6, "right-3").
+		Burst(5, 2, "left-0", "right-0", 32).
+		Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"dynamics"`) {
+		t.Fatal("encoded spec has no dynamics section")
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Dynamics) != len(spec.Dynamics) {
+		t.Fatalf("round trip kept %d of %d events", len(back.Dynamics), len(spec.Dynamics))
+	}
+	for i := range spec.Dynamics {
+		if back.Dynamics[i] != spec.Dynamics[i] {
+			t.Fatalf("event %d changed in round trip: %v vs %v", i, back.Dynamics[i], spec.Dynamics[i])
+		}
+	}
+}
+
+func TestSpecDynamicsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   dynamics.Event
+		want string
+	}{
+		{"unknown trunk", dynamics.Event{Iter: 1, Kind: dynamics.LinkScale, Target: "left-sw|nope", Param: 2}, "unknown link target"},
+		{"unknown class", dynamics.Event{Iter: 1, Kind: dynamics.LinkDown, Target: "dsl"}, "unknown link target"},
+		{"unknown host", dynamics.Event{Iter: 1, Kind: dynamics.HostLeave, Target: "left-9"}, "unknown host"},
+		{"bad burst", dynamics.Event{Iter: 1, Kind: dynamics.Burst, Target: "left-0", Param: 4}, "burst target"},
+		{"bad kind", dynamics.Event{Iter: 1, Kind: "quake", Target: "wan"}, "unknown kind"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := dynamicBuilder().Dynamic(c.ev).Spec()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want it to mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSpecDynamicsTargetsResolveToCompiledNetwork(t *testing.T) {
+	// A trunk target and a class target must act on the compiled
+	// network's real vertices: compile, apply iteration 2's state, and
+	// check the capacities moved.
+	spec, err := dynamicBuilder().
+		LinkScale(1, "left-sw|core", 0.5). // one trunk
+		LinkScale(1, "eth", 2).            // every host access link
+		Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Timeline.Len() != 2 {
+		t.Fatalf("timeline has %d events, want 2", d.Timeline.Len())
+	}
+	d.Timeline.Apply(2, d.Eng, d.Net)
+	left := d.Net.FindVertex("left-sw")
+	right := d.Net.FindVertex("right-sw")
+	core := d.Net.FindVertex("core")
+	wan := 100e6 / 8.0
+	if got := d.Net.LinkCapacity(left, core); got != wan*0.5 {
+		t.Fatalf("left trunk = %g, want halved %g", got, wan*0.5)
+	}
+	if got := d.Net.LinkCapacity(right, core); got != wan {
+		t.Fatalf("right trunk = %g, want untouched %g", got, wan)
+	}
+	eth := 890e6 / 8.0
+	if got := d.Net.LinkCapacity(d.Hosts[0], left); got != eth*2 {
+		t.Fatalf("host link = %g, want doubled %g", got, eth*2)
+	}
+}
+
+func TestDriftSitesFamilyValidates(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		spec := DriftSites(3, 8, 890, 100, x)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("intensity %g: %v", x, err)
+		}
+		if _, err := spec.Compile(); err != nil {
+			t.Fatalf("intensity %g compile: %v", x, err)
+		}
+		if x == 0 && len(spec.Dynamics) != 0 {
+			t.Fatal("intensity 0 must be static")
+		}
+		if x == 1 && len(spec.Dynamics) == 0 {
+			t.Fatal("intensity 1 has no events")
+		}
+	}
+	// The smallest permitted shape survives its own churn schedule.
+	if _, err := DriftSites(2, 3, 890, 100, 1).Compile(); err != nil {
+		t.Fatalf("minimal shape: %v", err)
+	}
+	for _, bad := range []func(){
+		func() { DriftSites(1, 8, 890, 100, 0.5) },
+		func() { DriftSites(3, 2, 890, 100, 0.5) },
+		func() { DriftSites(3, 8, 890, 100, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad DriftSites shape did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCloneCopiesDynamics(t *testing.T) {
+	spec, err := dynamicBuilder().LinkScale(2, "wan", 0.5).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spec.Clone()
+	c.Dynamics[0].Param = 99
+	if spec.Dynamics[0].Param != 0.5 {
+		t.Fatal("Clone aliased the dynamics slice")
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -125,15 +126,38 @@ func assertSameResult(t *testing.T, got, want *core.Result) {
 	}
 }
 
-// The registry must present the six built-ins first, in paper order.
-func TestRegistrySeededWithPaperOrder(t *testing.T) {
+// The registry must contain every built-in and present names in sorted
+// order — deterministic output for `bttomo -list`, docs and CI
+// transcripts regardless of registration timing.
+func TestRegistrySortedAndSeeded(t *testing.T) {
 	names := Names()
 	if len(names) < len(topology.DatasetNames) {
 		t.Fatalf("registry has %d names, want at least %d", len(names), len(topology.DatasetNames))
 	}
-	for i, want := range topology.DatasetNames {
-		if names[i] != want {
-			t.Fatalf("registry order %v does not start with paper order %v", names, topology.DatasetNames)
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registry names not sorted: %v", names)
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range topology.DatasetNames {
+		if !have[want] {
+			t.Fatalf("registry %v is missing built-in %q", names, want)
 		}
+	}
+	// Registration keeps the order sorted (the new name lands in its
+	// lexicographic slot, not at the end).
+	s := NSites(2, 2, 890, 100)
+	s.Name = "0-sorted-probe"
+	if err := Register(s); err != nil {
+		t.Fatal(err)
+	}
+	names = Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registry names not sorted after Register: %v", names)
+	}
+	if names[0] != "0-sorted-probe" {
+		t.Fatalf("new name not in lexicographic position: %v", names)
 	}
 }

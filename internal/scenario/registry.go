@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/topology"
@@ -15,7 +16,6 @@ import (
 var (
 	regMu    sync.RWMutex
 	regSpecs = make(map[string]*Spec)
-	regOrder []string
 )
 
 func init() {
@@ -39,7 +39,6 @@ func Register(s *Spec) error {
 		return fmt.Errorf("scenario: %q is already registered", s.Name)
 	}
 	regSpecs[s.Name] = s.Clone()
-	regOrder = append(regOrder, s.Name)
 	return nil
 }
 
@@ -54,12 +53,19 @@ func Lookup(name string) (*Spec, bool) {
 	return s.Clone(), true
 }
 
-// Names lists the registered scenario names in registration order: the
-// six built-ins in paper order first, then user registrations.
+// Names lists the registered scenario names sorted lexicographically.
+// Sorted output is a contract: `bttomo -list`, docs and CI transcripts
+// iterate the registry, and their order must not depend on registration
+// timing (init order, test order, concurrent RegisterSpec calls).
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	return append([]string(nil), regOrder...)
+	names := make([]string, 0, len(regSpecs))
+	for name := range regSpecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // New compiles the named registered scenario into a fresh dataset.

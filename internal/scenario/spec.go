@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dynamics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -105,6 +106,13 @@ type Spec struct {
 	Trunks []Trunk `json:"trunks,omitempty"`
 	// Groups are the host groups, in host-index order.
 	Groups []HostGroup `json:"groups"`
+	// Dynamics is the optional scripted event timeline that makes the
+	// scenario time-varying: link capacity drift, link failures and
+	// recoveries, host churn, and timed cross-traffic bursts. Events are
+	// replayed deterministically on every measurement replica; see
+	// package dynamics for the event model and repro's "Time-varying
+	// scenarios" documentation for examples.
+	Dynamics []dynamics.Event `json:"dynamics,omitempty"`
 }
 
 // NumHosts returns the total host count of the scenario.
@@ -138,6 +146,7 @@ func (s *Spec) Clone() *Spec {
 	c.Switches = append([]Switch(nil), s.Switches...)
 	c.Trunks = append([]Trunk(nil), s.Trunks...)
 	c.Groups = append([]HostGroup(nil), s.Groups...)
+	c.Dynamics = append([]dynamics.Event(nil), s.Dynamics...)
 	return &c
 }
 
@@ -222,7 +231,10 @@ func (s *Spec) Validate() error {
 	if n := s.NumHosts(); n < 2 {
 		return fmt.Errorf("scenario %s: tomography needs at least 2 hosts, have %d", s.Name, n)
 	}
-	return s.validateConnected(switches)
+	if err := s.validateConnected(switches); err != nil {
+		return err
+	}
+	return s.validateDynamics()
 }
 
 // validateConnected verifies the trunk graph joins every switch into one
@@ -301,6 +313,16 @@ func (s *Spec) Compile() (*topology.Dataset, error) {
 			truth = append(truth, label)
 		}
 	}
+	var tl *dynamics.Timeline
+	if len(s.Dynamics) > 0 {
+		var err error
+		tl, err = dynamics.Compile(s.Dynamics, s.dynamicsBinding(switches, hosts))
+		if err != nil {
+			// Validate already compiled against synthetic ids, so this
+			// only fires if the spec mutated since.
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	return &topology.Dataset{
 		Name:        s.Name,
 		Eng:         eng,
@@ -308,6 +330,7 @@ func (s *Spec) Compile() (*topology.Dataset, error) {
 		Hosts:       hosts,
 		GroundTruth: truth,
 		TruthNote:   s.Note,
+		Timeline:    tl,
 	}, nil
 }
 

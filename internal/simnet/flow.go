@@ -220,7 +220,7 @@ func (n *Network) solve() {
 			if c.nUnfixed == 0 {
 				continue
 			}
-			d := (c.capacity - c.usedFixed - level*float64(c.nUnfixed)) / float64(c.nUnfixed)
+			d := (c.effectiveCapacity() - c.usedFixed - level*float64(c.nUnfixed)) / float64(c.nUnfixed)
 			if d < delta {
 				delta = d
 			}
@@ -253,8 +253,9 @@ func (n *Network) solve() {
 			bind := f.cap != 0 && f.cap-level <= eps*(1+level)
 			if !bind {
 				for _, c := range f.path {
-					room := c.capacity - c.usedFixed - level*float64(c.nUnfixed)
-					if room <= eps*(1+c.capacity) {
+					cap := c.effectiveCapacity()
+					room := cap - c.usedFixed - level*float64(c.nUnfixed)
+					if room <= eps*(1+cap) {
 						bind = true
 						break
 					}

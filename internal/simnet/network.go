@@ -57,6 +57,7 @@ type channel struct {
 	capacity   float64
 	latency    float64
 	perFlowCap float64
+	down       bool
 
 	carried float64 // total bytes carried, for utilisation reports
 
@@ -64,6 +65,16 @@ type channel struct {
 	nUnfixed  int
 	usedFixed float64
 	flows     []*Flow
+}
+
+// effectiveCapacity is the capacity the bandwidth solver sees: zero while
+// the link is failed (SetLinkState), the configured capacity otherwise.
+// The configured capacity is retained across a down/up cycle.
+func (c *channel) effectiveCapacity() float64 {
+	if c.down {
+		return 0
+	}
+	return c.capacity
 }
 
 type vertex struct {
@@ -234,7 +245,7 @@ func (n *Network) Path(src, dst int) PathInfo {
 	info := PathInfo{Hops: len(chans), Capacity: math.Inf(1)}
 	for _, c := range chans {
 		info.Latency += c.latency
-		cap := c.capacity
+		cap := c.effectiveCapacity()
 		if c.perFlowCap > 0 && c.perFlowCap < cap {
 			cap = c.perFlowCap
 		}
@@ -245,6 +256,29 @@ func (n *Network) Path(src, dst int) PathInfo {
 	return info
 }
 
+// linkChannels returns every channel of the (possibly parallel) links
+// between a and b, both directions. It panics if no such link exists —
+// the shared contract of all link mutators and getters.
+func (n *Network) linkChannels(a, b int) []*channel {
+	n.checkVert(a)
+	n.checkVert(b)
+	var chans []*channel
+	for _, c := range n.verts[a].chans {
+		if c.to == b {
+			chans = append(chans, c)
+		}
+	}
+	for _, c := range n.verts[b].chans {
+		if c.to == a {
+			chans = append(chans, c)
+		}
+	}
+	if len(chans) == 0 {
+		panic(fmt.Sprintf("simnet: no link between %s and %s", n.verts[a].name, n.verts[b].name))
+	}
+	return chans
+}
+
 // SetLinkCapacity changes the capacity (both directions) of the link
 // between a and b while the simulation runs, re-allocating all active
 // flows immediately. It models dynamically altering underlying topology —
@@ -252,25 +286,42 @@ func (n *Network) Path(src, dst int) PathInfo {
 // which the paper names as a natural fit for this tomography method (§V).
 // It panics if no such link exists or the capacity is not positive.
 func (n *Network) SetLinkCapacity(a, b int, capacity float64) {
-	n.checkVert(a)
-	n.checkVert(b)
 	if capacity <= 0 {
 		panic("simnet: link capacity must be positive")
 	}
-	found := false
-	for _, c := range n.verts[a].chans {
-		if c.to == b {
-			c.capacity = capacity
-			found = true
-		}
+	for _, c := range n.linkChannels(a, b) {
+		c.capacity = capacity
 	}
-	for _, c := range n.verts[b].chans {
-		if c.to == a {
-			c.capacity = capacity
-		}
-	}
-	if !found {
-		panic(fmt.Sprintf("simnet: no link between %s and %s", n.verts[a].name, n.verts[b].name))
+	// Accrue progress under the old rates, then re-solve.
+	n.advance()
+	n.markDirty()
+}
+
+// LinkCapacity returns the configured capacity of the link between a and
+// b (the value Connect or SetLinkCapacity last set, regardless of up/down
+// state). It panics if no such link exists.
+func (n *Network) LinkCapacity(a, b int) float64 {
+	return n.linkChannels(a, b)[0].capacity
+}
+
+// LinkUp reports whether the link between a and b is up. It panics if no
+// such link exists.
+func (n *Network) LinkUp(a, b int) bool {
+	return !n.linkChannels(a, b)[0].down
+}
+
+// SetLinkState fails (up=false) or restores (up=true) the link between a
+// and b while the simulation runs. Routing is static — a hop-count
+// shortest path is chosen when a flow starts — so flows crossing a failed
+// link are not rerouted: they stall at rate zero and resume, with their
+// remaining bytes intact, when the link comes back up. New flows keep
+// routing over the failed link and stall the same way, which models a
+// failure that blackholes traffic until repair rather than a topology
+// withdrawal. The configured capacity survives a down/up cycle. It panics
+// if no such link exists; setting the current state again is a no-op.
+func (n *Network) SetLinkState(a, b int, up bool) {
+	for _, c := range n.linkChannels(a, b) {
+		c.down = !up
 	}
 	// Accrue progress under the old rates, then re-solve.
 	n.advance()
@@ -297,7 +348,11 @@ func (n *Network) Clone(eng *sim.Engine) *Network {
 		c.verts[i] = vertex{name: v.name, isHost: v.isHost}
 	}
 	// Channels are copied per direction so capacities changed at runtime
-	// with SetLinkCapacity survive the copy.
+	// with SetLinkCapacity — and link failures set with SetLinkState —
+	// survive the copy. Each clone gets its own channel structs: mutating
+	// a clone's links never affects the original or sibling clones (the
+	// invariant the dynamics replay depends on, asserted in
+	// TestCloneSharesNoMutableLinkState).
 	for i, v := range n.verts {
 		for _, ch := range v.chans {
 			c.verts[i].chans = append(c.verts[i].chans, &channel{
@@ -306,6 +361,7 @@ func (n *Network) Clone(eng *sim.Engine) *Network {
 				capacity:   ch.capacity,
 				latency:    ch.latency,
 				perFlowCap: ch.perFlowCap,
+				down:       ch.down,
 			})
 		}
 	}

@@ -672,3 +672,108 @@ func TestPendingFlowsDrainsOnActivationAndCompletion(t *testing.T) {
 		t.Fatalf("pending = %d after cancelled activation drained, want 0", n.PendingFlows())
 	}
 }
+
+// TestCloneSharesNoMutableLinkState is the invariant the dynamics replay
+// depends on: per-iteration replicas mutate link capacity and up/down
+// state freely, and neither the original network nor sibling clones may
+// observe it.
+func TestCloneSharesNoMutableLinkState(t *testing.T) {
+	_, n, a, b := pair(t, LinkSpec{Capacity: Mbps(800), Latency: 1e-3})
+	c1 := n.Clone(sim.NewEngine())
+	c2 := n.Clone(sim.NewEngine())
+
+	// Mutate one clone: capacity change and a link failure.
+	c1.SetLinkCapacity(a, b, Mbps(50))
+	c1.SetLinkState(a, b, false)
+	if c1.LinkUp(a, b) || c1.LinkCapacity(a, b) != Mbps(50) {
+		t.Fatal("mutations did not take on the mutated clone")
+	}
+	for name, other := range map[string]*Network{"original": n, "sibling clone": c2} {
+		if got, want := other.LinkCapacity(a, b), Mbps(800); got != want {
+			t.Fatalf("%s capacity changed to %g, want %g", name, got, want)
+		}
+		if !other.LinkUp(a, b) {
+			t.Fatalf("%s link went down with the mutated clone", name)
+		}
+	}
+	// And the other direction: mutating the original leaves both clones'
+	// state (including c1's failure) untouched.
+	n.SetLinkCapacity(a, b, Mbps(200))
+	if c2.LinkCapacity(a, b) != Mbps(800) {
+		t.Fatal("original's capacity change leaked into a clone")
+	}
+	if c1.LinkUp(a, b) {
+		t.Fatal("original's mutation reset a clone's link state")
+	}
+	// A clone of the mutated clone carries the down state and capacity.
+	c3 := c1.Clone(sim.NewEngine())
+	if c3.LinkUp(a, b) || c3.LinkCapacity(a, b) != Mbps(50) {
+		t.Fatal("Clone dropped runtime link state")
+	}
+}
+
+func TestLinkDownStallsFlowUntilLinkUp(t *testing.T) {
+	eng, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	var done float64
+	n.StartFlow(a, b, 1000, func() { done = eng.Now() })
+	// Fail the link for [5, 10): the flow moves 500 bytes, stalls 5
+	// seconds, then finishes the rest.
+	eng.Schedule(5, func() { n.SetLinkState(a, b, false) })
+	eng.Schedule(10, func() { n.SetLinkState(a, b, true) })
+	eng.Run()
+	if math.Abs(done-15) > 1e-6 {
+		t.Fatalf("flow finished at %g, want 15 (5s moving + 5s outage + 5s moving)", done)
+	}
+	if n.LinkUp(a, b) != true {
+		t.Fatal("link not back up")
+	}
+}
+
+func TestLinkDownOnlyStallsCrossingFlows(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	sw := n.AddSwitch("sw")
+	var h [3]int
+	for i := range h {
+		h[i] = n.AddHost("h")
+		n.Connect(h[i], sw, LinkSpec{Capacity: 100})
+	}
+	var t01, t12 float64
+	n.StartFlow(h[0], h[1], 1000, func() { t01 = eng.Now() })
+	n.StartFlow(h[1], h[2], 1000, func() { t12 = eng.Now() })
+	// h0's access link fails for [2, 7): only the h0->h1 flow stalls.
+	eng.Schedule(2, func() { n.SetLinkState(h[0], sw, false) })
+	eng.Schedule(7, func() { n.SetLinkState(h[0], sw, true) })
+	eng.Run()
+	if math.Abs(t12-10) > 1e-6 {
+		t.Fatalf("unaffected flow finished at %g, want 10", t12)
+	}
+	if math.Abs(t01-15) > 1e-6 {
+		t.Fatalf("stalled flow finished at %g, want 15", t01)
+	}
+}
+
+func TestPathCapacityZeroWhileLinkDown(t *testing.T) {
+	_, n, a, b := pair(t, LinkSpec{Capacity: 100})
+	n.SetLinkState(a, b, false)
+	if got := n.Path(a, b).Capacity; got != 0 {
+		t.Fatalf("Path capacity over a down link = %g, want 0", got)
+	}
+	n.SetLinkState(a, b, true)
+	if got := n.Path(a, b).Capacity; got != 100 {
+		t.Fatalf("Path capacity after recovery = %g, want 100", got)
+	}
+}
+
+func TestLinkStateUnknownLinkPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing link")
+		}
+	}()
+	n.SetLinkState(a, b, false)
+}

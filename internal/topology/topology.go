@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/dynamics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -57,6 +58,11 @@ type Dataset struct {
 	GroundTruth []int
 	// TruthNote documents how the ground truth was derived.
 	TruthNote string
+	// Timeline, when non-nil, is the dataset's compiled network-dynamics
+	// schedule (the Dynamics section of the scenario spec it was built
+	// from). core.RunDataset replays it on every measurement replica; it
+	// is immutable and safely shared by Replicate.
+	Timeline *dynamics.Timeline
 }
 
 // N returns the number of hosts.
@@ -79,6 +85,7 @@ func (d *Dataset) Replicate() *Dataset {
 		Hosts:       append([]int(nil), d.Hosts...),
 		GroundTruth: append([]int(nil), d.GroundTruth...),
 		TruthNote:   d.TruthNote,
+		Timeline:    d.Timeline,
 	}
 }
 

@@ -60,6 +60,34 @@
 //		Spec()
 //	res, err := repro.RunSpec(spec, repro.ParallelOptions(4))
 //
+// # Time-varying scenarios
+//
+// A spec's optional Dynamics section scripts how the network changes
+// while the measurement runs — link capacity drift, failures and
+// recoveries, host churn, timed cross-traffic bursts — the
+// "dynamically altering underlying topology" the paper's §V points at.
+// Events are declarative data, validated with the spec and replayed
+// deterministically on every measurement replica, so dynamic scenarios
+// keep the bit-identity contract for any worker count:
+//
+//	spec, err := repro.NewSpec("erode").
+//		Link("eth", 890, 50e-6).
+//		Link("wan", 60, 4e-3).
+//		Switch("core").
+//		FlatSite("left", "core", 6, "eth", "wan").
+//		FlatSite("right", "core", 6, "eth", "wan").
+//		LinkScale(3, "wan", 40).    // the bottleneck disappears mid-run
+//		HostLeave(3, "right-5").    // a host churns out and back
+//		HostJoin(6, "right-5").
+//		Burst(4, 1, "left-0", "right-0", 48).
+//		Spec()
+//
+// Iterations measure only the hosts active in them and NMI is scored
+// against the hosts present (IterationRecord.ActiveHosts). See the
+// ExampleNewSpec_dynamics godoc example, examples/dynamics, and the
+// README's "Time-varying scenarios" section (including how scripted
+// bursts replace the legacy Options.BackgroundFlows knob).
+//
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
 // EXPERIMENTS.md for measured-versus-paper results.
@@ -69,6 +97,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dynamics"
 	"repro/internal/scenario"
 	"repro/internal/topology"
 )
@@ -108,9 +137,10 @@ func ParallelOptions(workers int) Options {
 	return opts
 }
 
-// Datasets lists the registered scenario names: the six built-ins in the
-// order the paper presents them (2x2, B, BT, GT, BGT, BGTL) followed by
-// any specs added with RegisterSpec, in registration order.
+// Datasets lists the registered scenario names — the six built-ins (2x2,
+// B, BT, GT, BGT, BGTL) plus any specs added with RegisterSpec — sorted
+// lexicographically, so listings are stable regardless of registration
+// order.
 func Datasets() []string {
 	return scenario.Names()
 }
@@ -193,6 +223,31 @@ func FatTreeSpec(pods, leavesPerPod, hostsPerLeaf int, hostMbps, leafMbps, spine
 // variant of the NSites family.
 func SkewedSitesSpec(sites, hostsPerSite int, intraMbps, interMbps, decay float64) *Spec {
 	return scenario.SkewedSites(sites, hostsPerSite, intraMbps, interMbps, decay)
+}
+
+// DynamicsEvent is one scripted change of a time-varying scenario: link
+// capacity drift ("link-scale"), failure and recovery ("link-down" /
+// "link-up"), host churn ("host-leave" / "host-join") or a timed
+// cross-traffic burst ("burst"). A Spec carries them in its Dynamics
+// section (JSON) or via the SpecBuilder's LinkScale/LinkDown/LinkUp/
+// HostLeave/HostJoin/Burst methods; they are replayed deterministically
+// on every measurement replica, so results stay bit-identical for any
+// Options.Workers >= 1.
+type DynamicsEvent = dynamics.Event
+
+// DynamicsTimeline is a compiled, validated dynamics schedule. A dataset
+// compiled from a spec with a Dynamics section carries one
+// (Dataset.Timeline), and Run replays it automatically; set
+// Options.Dynamics to override.
+type DynamicsTimeline = dynamics.Timeline
+
+// DriftSitesSpec generates the churn-heavy, time-varying member of the
+// NSites family: as intensity in [0, 1] rises, the site uplinks drift
+// toward the aggregate intra-site bandwidth, hosts leave and rejoin the
+// swarm, a cross-site burst loads the fabric and (at intensity >= 0.5) a
+// site uplink transiently fails. The E17 drift experiment sweeps it.
+func DriftSitesSpec(sites, hostsPerSite int, intraMbps, interMbps, intensity float64) *Spec {
+	return scenario.DriftSites(sites, hostsPerSite, intraMbps, interMbps, intensity)
 }
 
 // HierarchyNode is one cluster of a hierarchical decomposition — the
