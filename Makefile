@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke ci
 
 all: build
 
@@ -55,4 +55,19 @@ dynamics-smoke:
 	cmp /tmp/bttomo_drift_w1.json /tmp/bttomo_drift_w4.json
 	@rm -f /tmp/bttomo_drift_w1.json /tmp/bttomo_drift_w4.json
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke bench
+# campaign-smoke asserts the campaign resume contract end to end: the
+# same grid run twice into the same archive (at different job counts)
+# must resolve the second invocation entirely from the content-addressed
+# cache and reproduce the aggregate CSV byte for byte.
+campaign-smoke:
+	rm -rf /tmp/bttomo_campaign
+	$(GO) run ./cmd/campaign -spec testdata/campaigns/grid.json -dry-run
+	$(GO) run ./cmd/campaign -spec testdata/campaigns/grid.json -out /tmp/bttomo_campaign -jobs 4
+	cp /tmp/bttomo_campaign/campaign.csv /tmp/bttomo_campaign_first.csv
+	$(GO) run ./cmd/campaign -spec testdata/campaigns/grid.json -out /tmp/bttomo_campaign -jobs 1
+	cmp /tmp/bttomo_campaign/campaign.csv /tmp/bttomo_campaign_first.csv
+	grep -q '"misses": 0' /tmp/bttomo_campaign/manifest.json
+	grep -q '"failures": 0' /tmp/bttomo_campaign/manifest.json
+	@rm -rf /tmp/bttomo_campaign /tmp/bttomo_campaign_first.csv
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke bench

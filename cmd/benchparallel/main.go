@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/persist"
 )
 
 // Report is the emitted JSON document.
@@ -53,6 +55,19 @@ type Report struct {
 	DynamicsSpeedup           float64 `json:"dynamics_speedup"`
 	DynamicsIdentical         bool    `json:"dynamics_identical"`
 	DynamicsNMI               float64 `json:"dynamics_nmi"`
+
+	// The campaign block times the sweep orchestrator on a small grid:
+	// one cold invocation that computes and archives every cell at the
+	// requested job fan-out, then one warm invocation that must resolve
+	// 100% of the grid from the content-addressed cache. CampaignIdentical
+	// confirms the cold and warm aggregate CSVs are byte-identical — the
+	// resume contract the campaign-smoke CI gate also asserts.
+	CampaignRuns        int     `json:"campaign_runs"`
+	CampaignJobs        int     `json:"campaign_jobs"`
+	CampaignColdSeconds float64 `json:"campaign_cold_seconds"`
+	CampaignWarmSeconds float64 `json:"campaign_warm_seconds"`
+	CampaignWarmHits    int     `json:"campaign_warm_hits"`
+	CampaignIdentical   bool    `json:"campaign_identical"`
 }
 
 func main() {
@@ -103,6 +118,11 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		return err
 	}
 
+	camp, err := timedCampaign(iters, scale, workers)
+	if err != nil {
+		return err
+	}
+
 	rep := Report{
 		Dataset:           dataset,
 		Hosts:             res1.Graph.N(),
@@ -122,6 +142,13 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		DynamicsParallelSeconds:   dtimeN,
 		DynamicsIdentical:         identical(dres1, dresN),
 		DynamicsNMI:               dresN.NMI,
+
+		CampaignRuns:        camp.runs,
+		CampaignJobs:        workers,
+		CampaignColdSeconds: camp.cold,
+		CampaignWarmSeconds: camp.warm,
+		CampaignWarmHits:    camp.warmHits,
+		CampaignIdentical:   camp.identical,
 	}
 	if timeN > 0 {
 		rep.Speedup = time1 / timeN
@@ -130,23 +157,26 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		rep.DynamicsSpeedup = dtime1 / dtimeN
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
 	if out == "-" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
 		if _, err := os.Stdout.Write(enc); err != nil {
 			return err
 		}
 	} else {
-		if err := os.WriteFile(out, enc, 0o644); err != nil {
+		if err := persist.SaveJSON(out, rep); err != nil {
 			return err
 		}
 		fmt.Printf("%s: %d hosts, %d iterations at %.0f%% payload: %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
 			dataset, rep.Hosts, iters, scale*100, time1, timeN, workers, rep.Speedup, rep.Identical)
 		fmt.Printf("%s (%d dynamics events): %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
 			rep.DynamicsScenario, rep.DynamicsEvents, dtime1, dtimeN, workers, rep.DynamicsSpeedup, rep.DynamicsIdentical)
+		fmt.Printf("campaign (%d runs, %d jobs): %.2fs cold, %.2fs warm (%d cache hits), identical=%v\n",
+			rep.CampaignRuns, rep.CampaignJobs, rep.CampaignColdSeconds, rep.CampaignWarmSeconds,
+			rep.CampaignWarmHits, rep.CampaignIdentical)
 		fmt.Println("wrote", out)
 	}
 	if !rep.Identical {
@@ -155,7 +185,69 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 	if !rep.DynamicsIdentical {
 		return fmt.Errorf("workers=%d dynamics result diverged from workers=1 — determinism contract broken", workers)
 	}
+	if rep.CampaignWarmHits != rep.CampaignRuns {
+		return fmt.Errorf("warm campaign resolved %d of %d runs from cache — resume contract broken",
+			rep.CampaignWarmHits, rep.CampaignRuns)
+	}
+	if !rep.CampaignIdentical {
+		return fmt.Errorf("warm campaign aggregate diverged from cold — resume contract broken")
+	}
 	return nil
+}
+
+// campaignTiming is the cold/warm comparison of the sweep orchestrator.
+type campaignTiming struct {
+	runs, warmHits int
+	cold, warm     float64
+	identical      bool
+}
+
+// timedCampaign executes a small two-scenario grid cold (every cell
+// measured and archived) and warm (every cell from the cache) in a
+// throwaway archive directory, comparing the aggregate bytes.
+func timedCampaign(iters int, scale float64, jobs int) (campaignTiming, error) {
+	var ct campaignTiming
+	c, err := repro.NewCampaign("bench").
+		Scenario("2x2", "GT").
+		Iterations(iters).
+		Seeds(1, 2).
+		Scales(scale).
+		Spec()
+	if err != nil {
+		return ct, err
+	}
+	dir, err := os.MkdirTemp("", "benchparallel-campaign-")
+	if err != nil {
+		return ct, err
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	cold, err := repro.RunCampaign(c, repro.CampaignOptions{OutDir: dir, Jobs: jobs, Resume: true})
+	if err != nil {
+		return ct, fmt.Errorf("cold campaign: %w", err)
+	}
+	ct.cold = time.Since(start).Seconds()
+	coldCSV, err := os.ReadFile(cold.CSVPath)
+	if err != nil {
+		return ct, err
+	}
+
+	start = time.Now()
+	warm, err := repro.RunCampaign(c, repro.CampaignOptions{OutDir: dir, Jobs: jobs, Resume: true})
+	if err != nil {
+		return ct, fmt.Errorf("warm campaign: %w", err)
+	}
+	ct.warm = time.Since(start).Seconds()
+	warmCSV, err := os.ReadFile(warm.CSVPath)
+	if err != nil {
+		return ct, err
+	}
+
+	ct.runs = cold.Manifest.Runs
+	ct.warmHits = warm.Manifest.Hits
+	ct.identical = bytes.Equal(coldCSV, warmCSV)
+	return ct, nil
 }
 
 // timedRun measures one tomography run's wall-clock at the given fan-out.

@@ -1,0 +1,91 @@
+// Command campaign expands a declarative sweep campaign — scenarios
+// crossed with option axes — and executes it against a content-addressed
+// result archive: runs whose key is already archived load instead of
+// recomputing, so re-invoking a killed or extended campaign resumes with
+// zero redone work and a byte-identical aggregate.
+//
+// Usage:
+//
+//	campaign -spec grid.json -out runs/grid            # run (or resume) the grid
+//	campaign -spec grid.json -out runs/grid -jobs 8    # shard across 8 workers
+//	campaign -spec grid.json -dry-run                  # print the expanded grid only
+//	campaign -spec grid.json -out runs/grid -resume=false  # force full recomputation
+//
+// The output directory holds manifest.json (per-run key, cache hit/miss,
+// timing), runs/<key>.json result archives, and the aggregate table as
+// campaign.csv and summary.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	var (
+		spec   = flag.String("spec", "", "campaign spec JSON file (required)")
+		out    = flag.String("out", "", "campaign archive directory (required unless -dry-run)")
+		jobs   = flag.Int("jobs", 1, "campaign-level worker pool; >1 forces each run's inner workers to 1 (fan-out at one level only)")
+		resume = flag.Bool("resume", true, "reuse archived results; false recomputes and rewrites every run")
+		dryRun = flag.Bool("dry-run", false, "print the expanded run grid and exit without measuring")
+	)
+	flag.Parse()
+	if err := run(*spec, *out, *jobs, *resume, *dryRun); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, outDir string, jobs int, resume, dryRun bool) error {
+	if specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	c, err := repro.LoadCampaign(specPath)
+	if err != nil {
+		return err
+	}
+	if dryRun {
+		return printGrid(c)
+	}
+	if outDir == "" {
+		return fmt.Errorf("-out is required (or use -dry-run)")
+	}
+	fmt.Printf("campaign %s: %d scenarios\n", c.Name, len(c.Scenarios))
+	res, err := repro.RunCampaign(c, repro.CampaignOptions{
+		OutDir: outDir,
+		Jobs:   jobs,
+		Resume: resume,
+		Log:    os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	m := res.Manifest
+	fmt.Printf("\n%d runs: %d cache hits, %d computed, %d deduplicated, %d failed (%.2fs wall)\n\n",
+		m.Runs, m.Hits, m.Misses, m.Dups, m.Failures, m.WallSeconds)
+	if err := res.Table.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("manifest: %s\naggregate: %s\n", res.ManifestPath, res.CSVPath)
+	return nil
+}
+
+// printGrid lists the expanded run grid without executing it — the
+// sanity check before committing hours of compute to a sweep.
+func printGrid(c *repro.Campaign) error {
+	runs, err := c.Expand()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s expands to %d runs:\n", c.Name, len(runs))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RUN\tSCENARIO\tCONFIG\tKEY")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", r.Index, r.Scenario, r.Config(), r.Key[:12])
+	}
+	return tw.Flush()
+}

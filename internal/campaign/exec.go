@@ -1,0 +1,339 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/report"
+)
+
+// ExecOptions configures one campaign invocation.
+type ExecOptions struct {
+	// OutDir is the campaign archive directory: manifest.json,
+	// campaign.csv, summary.txt and runs/<key>.json live under it.
+	OutDir string
+	// Jobs is the campaign-level worker pool (<= 1 runs cells
+	// sequentially). Per the worker-budget discipline, Jobs > 1 forces
+	// every cell's inner worker count to 1.
+	Jobs int
+	// Resume reuses archived results: a cell whose runs/<key>.json loads
+	// cleanly is a cache hit and is not recomputed. A torn or otherwise
+	// unreadable archive is treated as a miss and rewritten (atomically).
+	// Disabling Resume recomputes and rewrites every cell.
+	Resume bool
+	// Log, when non-nil, receives one progress line per completed cell.
+	Log io.Writer
+}
+
+// Manifest records one campaign invocation: every cell's key, cache
+// disposition, timing and headline scores, plus the aggregate counts the
+// smoke gates assert on. Timing fields vary between invocations; the
+// byte-stable artifacts are campaign.csv and summary.txt.
+type Manifest struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	Jobs     int    `json:"jobs"`
+	Runs     int    `json:"runs"`
+	Hits     int    `json:"hits"`
+	Misses   int    `json:"misses"`
+	// Dups counts cells that shared another cell's key within this grid
+	// and reused its result. They are tallied separately from Hits so
+	// that a Resume=false invocation honestly reports zero archive reuse
+	// while still not recomputing guaranteed-identical content.
+	Dups        int     `json:"dups"`
+	Failures    int     `json:"failures"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Entries     []Entry `json:"entries"`
+}
+
+// Entry is one cell's record in the manifest.
+type Entry struct {
+	Index    int    `json:"index"`
+	Scenario string `json:"scenario"`
+	Config   string `json:"config"`
+	Key      string `json:"key"`
+	// Status is "done" or "failed".
+	Status string `json:"status"`
+	// Cache is "hit" (loaded from the archive), "miss" (computed), or
+	// "dup" (reused an identical-key cell of this same grid); empty for
+	// failed cells.
+	Cache       string  `json:"cache,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Q and SimSeconds are always present for done cells: zero is a
+	// legitimate score (a partition collapsed to one cluster has Q = 0)
+	// and must stay distinguishable from an absent one.
+	Q          float64  `json:"q"`
+	NMI        *float64 `json:"nmi,omitempty"`
+	SimSeconds float64  `json:"sim_seconds"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// Outcome is a completed invocation: the expanded grid, the manifest, the
+// per-cell archived documents (in run order) and the aggregate table.
+type Outcome struct {
+	Runs     []Run
+	Manifest *Manifest
+	// Docs holds each cell's archived result document, nil for failed
+	// cells.
+	Docs []*persist.ResultDoc
+	// Table is the aggregate NMI/Q/time table (also written as
+	// campaign.csv and summary.txt under OutDir).
+	Table        *report.Table
+	ManifestPath string
+	CSVPath      string
+	SummaryPath  string
+}
+
+// Execute expands the campaign and runs it: cells are sharded across a
+// bounded pool of Jobs workers, archived cells load from the
+// content-addressed cache instead of recomputing, cells sharing a key
+// within the grid are computed once (the duplicates are deterministic
+// cache hits), fresh cells measure and archive atomically, and the
+// aggregate table is rebuilt from the archives in run order. Failed
+// cells are recorded in the manifest and reported as one error after
+// every other cell has finished; a later resumed invocation recomputes
+// exactly the failed cells.
+func Execute(s *Spec, opt ExecOptions) (*Outcome, error) {
+	if opt.OutDir == "" {
+		return nil, fmt.Errorf("campaign: ExecOptions.OutDir is required")
+	}
+	runs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	// Cells can legitimately share a key — a dynamics axis over a
+	// scenario with no timeline, a workers axis, scale values flooring
+	// to the same payload — and shared key means guaranteed-identical
+	// content. Compute each key once; the duplicates resolve from the
+	// first cell's result as deterministic cache hits.
+	primary := make(map[string]int, len(runs))
+	dupOf := make([]int, len(runs))
+	var unique []int
+	for i, r := range runs {
+		if p, ok := primary[r.Key]; ok {
+			dupOf[i] = p
+			continue
+		}
+		primary[r.Key] = i
+		dupOf[i] = -1
+		unique = append(unique, i)
+	}
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(unique) {
+		jobs = len(unique)
+	}
+
+	start := time.Now()
+	entries := make([]Entry, len(runs))
+	docs := make([]*persist.ResultDoc, len(runs))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	var logMu sync.Mutex
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				entries[i], docs[i] = executeCell(runs[i], opt, jobs)
+				if opt.Log != nil {
+					logMu.Lock()
+					e := entries[i]
+					status := e.Cache
+					if e.Status == "failed" {
+						status = "FAILED: " + e.Error
+					}
+					fmt.Fprintf(opt.Log, "run %d/%d %s %s: %s (%.2fs)\n",
+						e.Index+1, len(runs), e.Scenario, e.Config, status, e.WallSeconds)
+					logMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, i := range unique {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	for i, p := range dupOf {
+		if p < 0 {
+			continue
+		}
+		e := entries[p]
+		e.Index = runs[i].Index
+		e.Scenario = runs[i].Scenario
+		e.Config = runs[i].Config()
+		e.WallSeconds = 0
+		if e.Status == "done" {
+			e.Cache = "dup"
+		}
+		entries[i] = e
+		docs[i] = docs[p]
+	}
+
+	man := &Manifest{
+		Version:  1,
+		Campaign: s.Name,
+		Jobs:     opt.Jobs,
+		Runs:     len(runs),
+		Entries:  entries,
+	}
+	for _, e := range entries {
+		switch {
+		case e.Status == "failed":
+			man.Failures++
+		case e.Cache == "hit":
+			man.Hits++
+		case e.Cache == "dup":
+			man.Dups++
+		default:
+			man.Misses++
+		}
+	}
+	man.WallSeconds = time.Since(start).Seconds()
+
+	out := &Outcome{
+		Runs:         runs,
+		Manifest:     man,
+		Docs:         docs,
+		Table:        aggregate(s.Name, runs, docs),
+		ManifestPath: filepath.Join(opt.OutDir, "manifest.json"),
+		CSVPath:      filepath.Join(opt.OutDir, "campaign.csv"),
+		SummaryPath:  filepath.Join(opt.OutDir, "summary.txt"),
+	}
+	if err := persist.SaveJSON(out.ManifestPath, man); err != nil {
+		return nil, err
+	}
+	if err := persist.WriteAtomic(out.CSVPath, out.Table.WriteCSV); err != nil {
+		return nil, err
+	}
+	if err := persist.WriteAtomic(out.SummaryPath, out.Table.Write); err != nil {
+		return nil, err
+	}
+	if man.Failures > 0 {
+		return out, fmt.Errorf("campaign %s: %d of %d runs failed (see %s)", s.Name, man.Failures, man.Runs, out.ManifestPath)
+	}
+	return out, nil
+}
+
+// executeCell runs (or loads) one grid cell and returns its manifest
+// entry plus archived document.
+func executeCell(run Run, opt ExecOptions, jobs int) (Entry, *persist.ResultDoc) {
+	e := Entry{
+		Index:    run.Index,
+		Scenario: run.Scenario,
+		Config:   run.Config(),
+		Key:      run.Key,
+	}
+	start := time.Now()
+	archive := filepath.Join(opt.OutDir, "runs", run.Key+".json")
+	doc, cached, err := loadOrRun(run, archive, opt.Resume, jobs)
+	e.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		e.Status = "failed"
+		e.Error = err.Error()
+		return e, nil
+	}
+	e.Status = "done"
+	e.Cache = "miss"
+	if cached {
+		e.Cache = "hit"
+	}
+	e.Q = doc.Q
+	e.NMI = doc.NMI
+	e.SimSeconds = doc.SimTime
+	return e, doc
+}
+
+// loadOrRun is the cache protocol: an archive that loads and decodes
+// cleanly is the cell's result (content addressing makes staleness
+// impossible — any input change changes the key); anything else falls
+// through to a fresh measurement whose archive is published atomically,
+// so a cell interrupted mid-write can never poison a later resume.
+func loadOrRun(run Run, archive string, resume bool, jobs int) (*persist.ResultDoc, bool, error) {
+	if resume {
+		if doc, err := persist.LoadResult(archive); err == nil {
+			if _, err := doc.Partition(); err == nil {
+				return doc, true, nil
+			}
+		}
+	}
+	d, err := run.Spec.Compile()
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := core.RunDataset(d, run.Options(jobs))
+	if err != nil {
+		return nil, false, err
+	}
+	var series []float64
+	for _, rec := range res.Iterations {
+		if rec.Clustered {
+			series = append(series, rec.NMI)
+		}
+	}
+	doc := persist.EncodeResult(run.Spec.Name, res.Partition, res.Q, res.NMI, res.TotalMeasurementTime, series)
+	if err := persist.SaveResult(archive, doc); err != nil {
+		return nil, false, err
+	}
+	return doc, false, nil
+}
+
+// aggregate builds the campaign's NMI/Q/time table from the archived
+// documents in run order. Every cell value is derived from the archive
+// (never from in-memory state) and floats render shortest-round-trip, so
+// the table — and the CSV and summary files written from it — is
+// byte-identical across invocations, job counts and cache states.
+func aggregate(name string, runs []Run, docs []*persist.ResultDoc) *report.Table {
+	t := &report.Table{
+		Title: "Campaign " + name,
+		Header: []string{"run", "scenario", "dynamics", "iterations", "window",
+			"rotate_root", "seed", "scale", "workers", "clusters", "q", "nmi", "sim_seconds", "key"},
+		Caption: "one row per grid cell, in expansion order; key is the content address of the archived result",
+	}
+	for i, run := range runs {
+		clusters, q, nmiS, simS := "", "", "", ""
+		if doc := docs[i]; doc != nil {
+			if p, err := doc.Partition(); err == nil {
+				clusters = strconv.Itoa(p.NumClusters())
+			}
+			q = formatFloat(doc.Q)
+			if doc.NMI != nil {
+				nmiS = formatFloat(*doc.NMI)
+			}
+			simS = formatFloat(doc.SimTime)
+		}
+		t.AddRow(
+			strconv.Itoa(run.Index),
+			run.Scenario,
+			formatFloat(run.DynScale),
+			strconv.Itoa(run.Iterations),
+			strconv.Itoa(run.Window),
+			strconv.FormatBool(run.RotateRoot),
+			strconv.FormatInt(run.Seed, 10),
+			formatFloat(run.Scale),
+			strconv.Itoa(run.Workers),
+			clusters, q, nmiS, simS,
+			run.Key[:12],
+		)
+	}
+	return t
+}
+
+// formatFloat renders a float shortest-round-trip — exact and
+// byte-stable, unlike a fixed-precision format.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/scenario"
+)
+
+// The cache key is a content address: two grid cells share a key exactly
+// when the measurement pipeline is guaranteed to produce bit-identical
+// Results for them. It therefore covers the resolved scenario spec
+// (canonical JSON, including the scaled dynamics timeline) and the
+// result-relevant options — and deliberately nothing about execution
+// policy (campaign jobs, per-run workers), which the bit-identity
+// contract proves irrelevant to the bytes.
+//
+// Canonicalisation relies on two stable facts: encoding/json marshals
+// struct fields in declaration order, and Go's float formatting is
+// shortest-round-trip deterministic. The golden-key test pins the keys of
+// the six builtin scenarios so an accidental change to either canonical
+// form (a reordered field, a renamed tag, a new default) is caught as a
+// cache-invalidation event instead of passing silently.
+
+// keyVersion is bumped whenever the key document's semantics change, so
+// archives written under an older scheme are recomputed rather than
+// misread.
+const keyVersion = 1
+
+// optionsKey is the canonical form of the result-relevant options. The
+// payload enters as resolved FileBytes, not the scale factor: two scale
+// values that floor to the same fragment-rounded payload are the same
+// measurement.
+type optionsKey struct {
+	Iterations   int   `json:"iterations"`
+	Window       int   `json:"window"`
+	RotateRoot   bool  `json:"rotate_root"`
+	Seed         int64 `json:"seed"`
+	FileBytes    int   `json:"file_bytes"`
+	FragmentSize int   `json:"fragment_size"`
+}
+
+// keyDoc is the hashed document.
+type keyDoc struct {
+	Version  int             `json:"campaign_key_version"`
+	Scenario json.RawMessage `json:"scenario"`
+	Options  optionsKey      `json:"options"`
+}
+
+// canonicalSpec renders a scenario spec's canonical JSON once, so grid
+// expansion marshals each (scenario, dynamics) variant a single time
+// instead of once per cell — at the million-cell scale the ROADMAP
+// targets, the option axes dominate the cell count while the spec bytes
+// stay constant across them.
+func canonicalSpec(sp *scenario.Spec) (json.RawMessage, error) {
+	return json.Marshal(sp)
+}
+
+// runKey computes the content address of one grid cell from the
+// variant's canonical spec JSON and the cell's canonical options.
+func runKey(scenarioJSON json.RawMessage, ok optionsKey) (string, error) {
+	data, err := json.Marshal(keyDoc{Version: keyVersion, Scenario: scenarioJSON, Options: ok})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,50 @@
+package campaign
+
+import "testing"
+
+// The campaign cache is content-addressed across processes and PRs:
+// archives written yesterday must still be found by the keys computed
+// today, or every resume silently degrades to a full recomputation. The
+// key is a hash of the scenario spec's canonical JSON plus the canonical
+// options document, so it drifts whenever either canonical form changes —
+// a reordered struct field, a renamed JSON tag, a changed default, an
+// edited builtin topology. This golden test pins the keys of the six
+// builtin scenarios under default options to catch such drift at review
+// time.
+//
+// If this test fails, first decide whether the drift is intentional. A
+// deliberate format or topology change is fine — update the golden keys
+// below (regenerate by expanding a campaign over the six names and
+// printing run.Key) and say in the PR that existing campaign caches are
+// invalidated. An unintentional failure means refactoring changed the
+// canonical bytes; fix the refactor instead of the goldens.
+func TestBuiltinCacheKeysArePinned(t *testing.T) {
+	golden := map[string]string{
+		"2x2":  "a3e86e307e496414c0b0aa681247bd1fd75970b513294edefb2d45e6e1bbf398",
+		"B":    "676715eda708d90485b86da2aade53e6ea6ae58f06d469706ac24138f6cfa2a5",
+		"BGT":  "b15cffc5f2185f0917f472395316dbc6a1ad4e803e88730fd411aad883347703",
+		"BGTL": "2c3684789e28c2dbb31b05a94493de09910048549aec3d6fc8b52edfe289c52e",
+		"BT":   "cf33a36a1e5554b4e72856fcd58043356bef4e7ca4594c4a18d039bfba231e15",
+		"GT":   "eff79773dca9d96ad8a451be0749d12863a009bbcd771bc05c42828cafb420b8",
+	}
+	spec := NewBuilder("golden").
+		Scenario("2x2", "B", "BGT", "BGTL", "BT", "GT").
+		MustSpec()
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(golden) {
+		t.Fatalf("expanded %d runs for %d scenarios", len(runs), len(golden))
+	}
+	for _, r := range runs {
+		want, ok := golden[r.Scenario]
+		if !ok {
+			t.Fatalf("unexpected scenario %q", r.Scenario)
+		}
+		if r.Key != want {
+			t.Errorf("cache key of %s drifted:\n  have %s\n  want %s\n(see the comment above for what this means)",
+				r.Scenario, r.Key, want)
+		}
+	}
+}

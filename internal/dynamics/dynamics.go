@@ -122,6 +122,13 @@ type Binding struct {
 	Hosts map[string]int
 	// HostVertex maps a dense host index to its network vertex id.
 	HostVertex []int
+	// Iterations, when positive, is the measurement-iteration budget the
+	// timeline will run under: Compile rejects events targeting a later
+	// iteration, which would otherwise validate and then silently never
+	// fire. Zero skips the check — a spec-level timeline is compiled
+	// before any particular run's iteration count is known, and the same
+	// timeline may legitimately run under several budgets.
+	Iterations int
 }
 
 // compiled is one resolved event.
@@ -144,8 +151,10 @@ type Timeline struct {
 
 // Compile resolves and validates events against the binding. It checks
 // that every target resolves, parameters make sense, link up/down events
-// pair correctly per link, and host churn keeps at least two hosts in the
-// swarm at all times. The returned timeline is immutable.
+// pair correctly per link, host churn keeps at least two hosts in the
+// swarm at all times and — when the binding carries an iteration budget —
+// that every event can actually fire within it. The returned timeline is
+// immutable.
 func Compile(events []Event, b Binding) (*Timeline, error) {
 	t := &Timeline{numHosts: len(b.HostVertex)}
 	if len(events) == 0 {
@@ -158,6 +167,10 @@ func Compile(events []Event, b Binding) (*Timeline, error) {
 		}
 		if e.At < 0 {
 			return nil, fmt.Errorf("dynamics: event %d (%s): negative at_s", i, e)
+		}
+		if b.Iterations > 0 && e.Iter > b.Iterations {
+			return nil, fmt.Errorf("dynamics: event %d (%s): iter %d is beyond the run's %d iterations and would never fire",
+				i, e, e.Iter, b.Iterations)
 		}
 		switch e.Kind {
 		case LinkScale, LinkDown, LinkUp:

@@ -112,6 +112,35 @@ func TestCompileValidation(t *testing.T) {
 	}
 }
 
+// With an iteration budget in the binding, events beyond it are scenario
+// bugs — they would validate and then silently never fire — and must be
+// rejected with an error naming the offending event. Events at the budget
+// itself fire during the final iteration and stay legal.
+func TestCompileRejectsEventsBeyondIterationBudget(t *testing.T) {
+	b := toyBinding()
+	b.Iterations = 5
+	if _, err := Compile([]Event{
+		{Iter: 2, Kind: LinkScale, Target: "wan", Param: 2},
+		{Iter: 6, Kind: HostLeave, Target: "h0"},
+	}, b); err == nil {
+		t.Fatal("event beyond the iteration budget accepted")
+	} else {
+		for _, want := range []string{"iter 6", "host-leave h0", "5 iterations", "never fire"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not name %q", err, want)
+			}
+		}
+	}
+	mustCompile(t, []Event{
+		{Iter: 5, Kind: LinkScale, Target: "wan", Param: 2},
+	}, b)
+	// Without a budget the same late event compiles: the spec-level pass
+	// cannot know the run's iteration count.
+	mustCompile(t, []Event{
+		{Iter: 6, Kind: LinkScale, Target: "wan", Param: 2},
+	}, toyBinding())
+}
+
 func TestActiveHostsReplay(t *testing.T) {
 	b := Binding{
 		Links:      map[string][][2]int{},

@@ -18,17 +18,57 @@ import (
 	"repro/internal/scenario"
 )
 
-// createFile creates path for writing, first creating any missing parent
-// directories: archive paths are routinely date- or campaign-structured
-// ("runs/2026-07/gt.json"), and failing on a missing directory turns a
-// finished measurement into an error.
-func createFile(path string) (*os.File, error) {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, err
-		}
+// WriteAtomic writes a file via a temporary sibling plus rename, first
+// creating any missing parent directories: archive paths are routinely
+// date- or campaign-structured ("runs/2026-07/gt.json"), and failing on a
+// missing directory turns a finished measurement into an error.
+//
+// Atomicity is a cache-integrity requirement, not a nicety: the campaign
+// subsystem treats the presence of an archive file as proof the run it
+// names was completed, so a process killed mid-write must never leave a
+// torn document at the final path — either the rename happened and the
+// file is whole, or the path is untouched (a stale *.tmp-* sibling may
+// remain and is ignored by every reader). If write returns an error, the
+// destination is left exactly as it was.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	return os.Create(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	// CreateTemp makes the file 0600; published artifacts are meant to be
+	// shared (spec files handed around, campaign archives read by other
+	// users), so restore the conventional mode before the rename.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	// Flush to stable storage before the rename publishes the file, so a
+	// crash cannot expose a whole-looking but empty archive.
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	return nil
 }
 
 // GraphDoc is the JSON form of a measurement graph.
@@ -100,15 +140,10 @@ func ReadGraph(r io.Reader) (*graph.Graph, error) {
 	return DecodeGraph(&doc)
 }
 
-// SaveGraph writes a graph to a file, creating missing parent
-// directories.
+// SaveGraph writes a graph to a file atomically (temp file + rename),
+// creating missing parent directories.
 func SaveGraph(path string, g *graph.Graph) error {
-	f, err := createFile(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return WriteGraph(f, g)
+	return WriteAtomic(path, func(w io.Writer) error { return WriteGraph(w, g) })
 }
 
 // LoadGraph reads a graph from a file.
@@ -184,6 +219,35 @@ func ReadResult(r io.Reader) (*ResultDoc, error) {
 	return &doc, nil
 }
 
+// SaveResult writes a result document to a file atomically (temp file +
+// rename), creating missing parent directories. Campaign run archives are
+// written through this path, so an interrupted campaign can never leave a
+// torn archive that poisons its content-addressed cache.
+func SaveResult(path string, doc *ResultDoc) error {
+	return WriteAtomic(path, func(w io.Writer) error { return WriteResult(w, doc) })
+}
+
+// LoadResult reads a result document from a file.
+func LoadResult(path string) (*ResultDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResult(f)
+}
+
+// SaveJSON writes any value as indented JSON atomically — the shared
+// publication path for structured artifacts that are not one of the typed
+// documents above (campaign manifests, benchmark reports).
+func SaveJSON(path string, v any) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
+}
+
 // WriteSpec writes a validated scenario spec as JSON. Spec files are the
 // declarative scenario interchange format: hand-written or generated, they
 // load back with LoadSpec and run via `bttomo -spec` or repro.RunSpec.
@@ -206,15 +270,10 @@ func ReadSpec(r io.Reader) (*scenario.Spec, error) {
 	return scenario.Decode(data)
 }
 
-// SaveSpec writes a scenario spec to a file, creating missing parent
-// directories.
+// SaveSpec writes a scenario spec to a file atomically (temp file +
+// rename), creating missing parent directories.
 func SaveSpec(path string, s *scenario.Spec) error {
-	f, err := createFile(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return WriteSpec(f, s)
+	return WriteAtomic(path, func(w io.Writer) error { return WriteSpec(w, s) })
 }
 
 // LoadSpec reads a scenario spec from a file.

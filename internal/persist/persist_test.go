@@ -1,8 +1,12 @@
 package persist
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -202,6 +206,109 @@ func TestSpecFileRoundTrip(t *testing.T) {
 	}
 	if err := WriteSpec(&strings.Builder{}, &scenario.Spec{}); err == nil {
 		t.Fatal("WriteSpec serialised an invalid spec")
+	}
+}
+
+// A writer failure mid-document — the simulated half of an interrupted
+// campaign — must leave the destination exactly as it was: the previous
+// archive intact, no torn JSON, no stray temp file promoted to the final
+// path.
+func TestWriteAtomicPartialWriteLeavesDestinationIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs", "abc123.json")
+	if err := SaveGraph(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a partial write: emit half a document, then fail the way a
+	// killed process would stop mid-stream.
+	wantErr := errors.New("killed mid-write")
+	err = WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, `{"version": 1, "n":`); err != nil {
+			return err
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("WriteAtomic error = %v, want the writer's", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("partial write reached the destination file")
+	}
+	if back, err := LoadGraph(path); err != nil || back.N() != sample().N() {
+		t.Fatalf("archive no longer loads after interrupted overwrite: %v", err)
+	}
+}
+
+// The temp file of an interrupted write must not be visible to readers of
+// the final path, and a completed save must not leave temp siblings
+// behind.
+func TestWriteAtomicLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	if err := SaveGraph(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	failing := errors.New("boom")
+	_ = WriteAtomic(path, func(io.Writer) error { return failing })
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only g.json", names)
+	}
+}
+
+// Published artifacts are meant to be shared; the temp file's private
+// 0600 mode must not leak through the rename.
+func TestWriteAtomicPublishesWorldReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := SaveGraph(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := info.Mode().Perm(); mode&0o044 != 0o044 {
+		t.Fatalf("published file mode %v is not group/other readable", mode)
+	}
+}
+
+// A torn archive on disk (written by a pre-atomic version or a corrupted
+// filesystem) must fail to load cleanly and be replaceable by an atomic
+// save — the recovery path the campaign cache takes on a poisoned entry.
+func TestSaveReplacesTornArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "result.json")
+	if err := os.WriteFile(path, []byte(`{"version": 1, "n": 5, "labels": [0, 0, 1`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(path); err == nil {
+		t.Fatal("torn archive loaded without error")
+	}
+	p := cluster.NewPartition([]int{0, 0, 1, 1, 2})
+	doc := EncodeResult("GT", p, 0.28, 1.0, 123.4, nil)
+	if err := SaveResult(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != "GT" || back.N != 5 {
+		t.Fatalf("recovered archive changed: %+v", back)
 	}
 }
 

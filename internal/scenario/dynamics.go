@@ -69,6 +69,25 @@ func (s *Spec) validateDynamics() error {
 	return nil
 }
 
+// ValidateDynamicsFor checks that the spec's Dynamics timeline fits a run
+// of the given iteration count: an event targeting a later iteration
+// would validate and then silently never fire, which is always a scenario
+// or sweep-configuration bug. Validate cannot run this check — a spec
+// does not know how many iterations it will be measured under — so
+// callers that do know the budget (the campaign grid expansion) invoke it
+// per run.
+func (s *Spec) ValidateDynamicsFor(iterations int) error {
+	if len(s.Dynamics) == 0 {
+		return nil
+	}
+	b := s.dynamicsBinding(nil, nil)
+	b.Iterations = iterations
+	if _, err := dynamics.Compile(s.Dynamics, b); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return nil
+}
+
 // --- Builder support -------------------------------------------------
 
 // Dynamic appends one raw dynamics event; the typed helpers below cover

@@ -71,6 +71,29 @@ func TestSpecDynamicsValidation(t *testing.T) {
 	}
 }
 
+func TestValidateDynamicsFor(t *testing.T) {
+	spec, err := dynamicBuilder().
+		Dynamic(dynamics.Event{Iter: 4, Kind: dynamics.LinkScale, Target: "wan", Param: 2}).
+		Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.ValidateDynamicsFor(4); err != nil {
+		t.Fatalf("event at the final iteration rejected: %v", err)
+	}
+	err = spec.ValidateDynamicsFor(3)
+	if err == nil || !strings.Contains(err.Error(), "never fire") {
+		t.Fatalf("error = %v, want the never-fires rejection", err)
+	}
+	if !strings.Contains(err.Error(), spec.Name) {
+		t.Fatalf("error %q does not name the scenario", err)
+	}
+	static := &Spec{Name: "s"}
+	if err := static.ValidateDynamicsFor(1); err != nil {
+		t.Fatalf("static spec: %v", err)
+	}
+}
+
 func TestSpecDynamicsTargetsResolveToCompiledNetwork(t *testing.T) {
 	// A trunk target and a class target must act on the compiled
 	// network's real vertices: compile, apply iteration 2's state, and

@@ -88,6 +88,32 @@
 // README's "Time-varying scenarios" section (including how scripted
 // bursts replace the legacy Options.BackgroundFlows knob).
 //
+// # Campaigns
+//
+// A Campaign runs a whole experimental surface as one managed unit: it
+// names scenarios (registry names or spec files), lists axes of option
+// overrides (iterations, window, rotate-root, seed, payload scale,
+// per-run workers) and dynamics intensities, and expands the
+// cross-product into an ordered run list. Runs are sharded over a bounded
+// job pool and keyed by a content hash of their inputs; completed runs
+// are archived under the output directory and later invocations load
+// them instead of recomputing, so a killed campaign resumes with zero
+// redone work and a byte-identical aggregate:
+//
+//	c, err := repro.NewCampaign("sweep").
+//		Scenario("GT", "BT").
+//		Iterations(10, 30).
+//		Seeds(1, 2, 3).
+//		Spec()
+//	out, err := repro.RunCampaign(c, repro.CampaignOptions{
+//		OutDir: "runs/sweep", Jobs: 4, Resume: true,
+//	})
+//	fmt.Println(out.Table)      // aggregated NMI/Q/time grid
+//
+// See `cmd/campaign` for the CLI (-spec, -out, -jobs, -resume, -dry-run),
+// examples/campaign for a complete program, and the README's "Campaigns"
+// section for the spec format, cache layout and resume semantics.
+//
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
 // EXPERIMENTS.md for measured-versus-paper results.
@@ -96,6 +122,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/scenario"
@@ -249,6 +276,51 @@ type DynamicsTimeline = dynamics.Timeline
 func DriftSitesSpec(sites, hostsPerSite int, intraMbps, interMbps, intensity float64) *Spec {
 	return scenario.DriftSites(sites, hostsPerSite, intraMbps, interMbps, intensity)
 }
+
+// Campaign is a declarative sweep: scenarios crossed with option axes,
+// expanded deterministically into a content-addressed run grid. Build one
+// fluently (NewCampaign), load it from JSON (LoadCampaign) or write the
+// JSON by hand; run it with RunCampaign or `cmd/campaign`.
+type Campaign = campaign.Spec
+
+// CampaignBuilder assembles a Campaign fluently; see NewCampaign.
+type CampaignBuilder = campaign.Builder
+
+// CampaignOptions configures one campaign invocation: the archive
+// directory, the job-pool width, and whether archived runs are reused.
+type CampaignOptions = campaign.ExecOptions
+
+// CampaignOutcome is a completed invocation: the expanded grid, the
+// manifest (per-run key, cache hit/miss, timing), the archived result
+// documents and the aggregate table.
+type CampaignOutcome = campaign.Outcome
+
+// CampaignRun is one expanded cell of a campaign grid.
+type CampaignRun = campaign.Run
+
+// NewCampaign starts a fluent campaign declaration. Finish the chain with
+// Spec(), then execute with RunCampaign.
+func NewCampaign(name string) *CampaignBuilder { return campaign.NewBuilder(name) }
+
+// RunCampaign expands and executes a campaign: runs shard across
+// opts.Jobs workers (each run keeps the bit-identity contract, so results
+// never depend on the fan-out), archived runs load from the
+// content-addressed cache under opts.OutDir instead of recomputing, and
+// the aggregate NMI/Q/time table is written as campaign.csv and
+// summary.txt next to manifest.json. Failed runs are reported after every
+// other run has finished; re-invoking resumes exactly the missing work.
+func RunCampaign(c *Campaign, opts CampaignOptions) (*CampaignOutcome, error) {
+	return campaign.Execute(c, opts)
+}
+
+// LoadCampaign reads and validates a campaign spec from a JSON file.
+// Relative scenario-file references resolve against the campaign file's
+// directory.
+func LoadCampaign(path string) (*Campaign, error) { return campaign.Load(path) }
+
+// SaveCampaign writes a campaign spec to a JSON file — the declarative
+// interchange format `cmd/campaign -spec` runs.
+func SaveCampaign(path string, c *Campaign) error { return campaign.Save(path, c) }
 
 // HierarchyNode is one cluster of a hierarchical decomposition — the
 // multi-level extension sketched in the paper's Future Work (§V).
