@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke ci
 
 all: build
 
@@ -70,4 +70,28 @@ campaign-smoke:
 	grep -q '"failures": 0' /tmp/bttomo_campaign/manifest.json
 	@rm -rf /tmp/bttomo_campaign /tmp/bttomo_campaign_first.csv
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke bench
+# fleet-smoke asserts the distributed-execution contract end to end: two
+# concurrent -fleet processes sharing one archive must partition the grid
+# (the runs/index.json ledger shows every one of the 8 runs executed
+# exactly once), finalize a campaign.csv byte-identical to the
+# single-process run, and a third invocation must resolve 100% from the
+# shared cache.
+fleet-smoke:
+	rm -rf /tmp/bttomo_fleet_ref /tmp/bttomo_fleet /tmp/bttomo_fleet_bin
+	$(GO) build -o /tmp/bttomo_fleet_bin ./cmd/campaign
+	/tmp/bttomo_fleet_bin -spec testdata/campaigns/grid.json -out /tmp/bttomo_fleet_ref -jobs 2
+	/tmp/bttomo_fleet_bin -spec testdata/campaigns/grid.json -out /tmp/bttomo_fleet -fleet -owner a -jobs 2 & \
+	pid=$$!; \
+	/tmp/bttomo_fleet_bin -spec testdata/campaigns/grid.json -out /tmp/bttomo_fleet -fleet -owner b -jobs 2; st=$$?; \
+	wait $$pid && test $$st -eq 0
+	cmp /tmp/bttomo_fleet/campaign.csv /tmp/bttomo_fleet_ref/campaign.csv
+	test "$$(grep -c '"cache":"miss"' /tmp/bttomo_fleet/runs/index.json)" -eq 8
+	grep -q '"misses": 8' /tmp/bttomo_fleet/manifest.json
+	/tmp/bttomo_fleet_bin -spec testdata/campaigns/grid.json -out /tmp/bttomo_fleet -fleet -owner c -jobs 2
+	grep -q '"misses": 0' /tmp/bttomo_fleet/manifests/c.json
+	grep -q '"hits": 8' /tmp/bttomo_fleet/manifests/c.json
+	test "$$(grep -c '"cache":"miss"' /tmp/bttomo_fleet/runs/index.json)" -eq 8
+	cmp /tmp/bttomo_fleet/campaign.csv /tmp/bttomo_fleet_ref/campaign.csv
+	@rm -rf /tmp/bttomo_fleet_ref /tmp/bttomo_fleet /tmp/bttomo_fleet_bin
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke bench

@@ -11,9 +11,22 @@
 //	campaign -spec grid.json -dry-run                  # print the expanded grid only
 //	campaign -spec grid.json -out runs/grid -resume=false  # force full recomputation
 //
+// Distributed fleets: start the same command with -fleet on any number of
+// processes or machines sharing the output directory, and they partition
+// the grid between them — each run claimed by exactly one live worker via
+// leases/<key>.json, crashed workers' claims reclaimed after -lease-ttl,
+// every completion recorded in the runs/index.json ledger, and the final
+// aggregate byte-identical to a single-process run:
+//
+//	campaign -spec grid.json -out /shared/grid -fleet -owner box1 &
+//	campaign -spec grid.json -out /shared/grid -fleet -owner box2
+//
 // The output directory holds manifest.json (per-run key, cache hit/miss,
-// timing), runs/<key>.json result archives, and the aggregate table as
-// campaign.csv and summary.txt.
+// timing; in fleet mode, the cumulative every-run-exactly-once record),
+// manifest.log (entries streamed as cells finish), runs/<key>.json result
+// archives with their runs/index.json ledger, per-worker manifests under
+// manifests/ in fleet mode, and the aggregate table as campaign.csv and
+// summary.txt.
 package main
 
 import (
@@ -21,26 +34,30 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		spec   = flag.String("spec", "", "campaign spec JSON file (required)")
-		out    = flag.String("out", "", "campaign archive directory (required unless -dry-run)")
-		jobs   = flag.Int("jobs", 1, "campaign-level worker pool; >1 forces each run's inner workers to 1 (fan-out at one level only)")
-		resume = flag.Bool("resume", true, "reuse archived results; false recomputes and rewrites every run")
-		dryRun = flag.Bool("dry-run", false, "print the expanded run grid and exit without measuring")
+		spec     = flag.String("spec", "", "campaign spec JSON file (required)")
+		out      = flag.String("out", "", "campaign archive directory (required unless -dry-run)")
+		jobs     = flag.Int("jobs", 1, "campaign-level worker pool; >1 forces each run's inner workers to 1 (fan-out at one level only)")
+		resume   = flag.Bool("resume", true, "reuse archived results; false recomputes and rewrites every run (rejected with -fleet: clear the archive instead)")
+		dryRun   = flag.Bool("dry-run", false, "print the expanded run grid and exit without measuring")
+		fleetRun = flag.Bool("fleet", false, "join the fleet sharing -out: claim runs via lease files and cooperate with other -fleet processes")
+		owner    = flag.String("owner", "", "fleet worker id for leases and manifests/ (default host-pid)")
+		leaseTTL = flag.Duration("lease-ttl", time.Minute, "fleet lease staleness horizon; a worker silent this long is presumed crashed and its runs reclaimed")
 	)
 	flag.Parse()
-	if err := run(*spec, *out, *jobs, *resume, *dryRun); err != nil {
+	if err := run(*spec, *out, *jobs, *resume, *dryRun, *fleetRun, *owner, *leaseTTL); err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, outDir string, jobs int, resume, dryRun bool) error {
+func run(specPath, outDir string, jobs int, resume, dryRun, fleetRun bool, owner string, leaseTTL time.Duration) error {
 	if specPath == "" {
 		return fmt.Errorf("-spec is required")
 	}
@@ -55,17 +72,31 @@ func run(specPath, outDir string, jobs int, resume, dryRun bool) error {
 		return fmt.Errorf("-out is required (or use -dry-run)")
 	}
 	fmt.Printf("campaign %s: %d scenarios\n", c.Name, len(c.Scenarios))
-	res, err := repro.RunCampaign(c, repro.CampaignOptions{
-		OutDir: outDir,
-		Jobs:   jobs,
-		Resume: resume,
-		Log:    os.Stdout,
-	})
+	opts := repro.CampaignOptions{
+		OutDir:   outDir,
+		Jobs:     jobs,
+		Resume:   resume,
+		Log:      os.Stdout,
+		Fleet:    fleetRun,
+		Owner:    owner,
+		LeaseTTL: leaseTTL,
+	}
+	var res *repro.CampaignOutcome
+	if fleetRun {
+		res, err = repro.JoinCampaign(c, opts)
+	} else {
+		res, err = repro.RunCampaign(c, opts)
+	}
 	if err != nil {
 		return err
 	}
 	m := res.Manifest
-	fmt.Printf("\n%d runs: %d cache hits, %d computed, %d deduplicated, %d failed (%.2fs wall)\n\n",
+	if fleetRun {
+		fmt.Printf("\nfleet worker %s: ", m.Owner)
+	} else {
+		fmt.Printf("\n")
+	}
+	fmt.Printf("%d runs: %d cache hits, %d computed, %d deduplicated, %d failed (%.2fs wall)\n\n",
 		m.Runs, m.Hits, m.Misses, m.Dups, m.Failures, m.WallSeconds)
 	if err := res.Table.Write(os.Stdout); err != nil {
 		return err

@@ -30,8 +30,8 @@
 // # Determinism contract
 //
 // Expansion order is fixed (scenarios outermost, then dynamics,
-// iterations, window, rotate-root, seed, scale, workers — each axis in
-// declaration order), run results are bit-identical for any jobs >= 1 and
+// iterations, window, rotate-root, seed, scale, top-fraction, workers —
+// each axis in declaration order), run results are bit-identical for any jobs >= 1 and
 // any per-run worker count, and the aggregate CSV is derived from the
 // archived documents in run order — so two invocations of the same
 // campaign produce byte-identical aggregates regardless of parallelism,
@@ -83,6 +83,13 @@ type Axes struct {
 	// Scale values scale the broadcast payload (1 = the paper's 239 MB),
 	// the knob that turns a full measurement into a cheap smoke cell.
 	Scale []float64 `json:"scale,omitempty"`
+	// TopFraction values override Options.TopFraction: a value in (0,1)
+	// keeps only that fraction of the strongest measured edges before
+	// clustering; 0 or 1 keeps everything (default 0, the paper's
+	// setting). Result-relevant: every value enters the content hash —
+	// canonicalised so that 0 and 1, being the same measurement, share a
+	// key (an axis listing both expands to dup cells, computed once).
+	TopFraction []float64 `json:"top_fraction,omitempty"`
 	// Dynamics values scale the intensity of each scenario's scripted
 	// dynamics timeline: 1 replays it as written, 0 strips it entirely
 	// (the static base topology), and intermediate values attenuate the
@@ -129,6 +136,7 @@ func (s *Spec) Clone() *Spec {
 	c.Axes.RotateRoot = append([]bool(nil), s.Axes.RotateRoot...)
 	c.Axes.Seed = append([]int64(nil), s.Axes.Seed...)
 	c.Axes.Scale = append([]float64(nil), s.Axes.Scale...)
+	c.Axes.TopFraction = append([]float64(nil), s.Axes.TopFraction...)
 	c.Axes.Dynamics = append([]float64(nil), s.Axes.Dynamics...)
 	c.Axes.Workers = append([]int(nil), s.Axes.Workers...)
 	return &c
@@ -175,6 +183,16 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign %s: duplicate scale axis value %g", s.Name, v)
 		}
 		seenF[v] = true
+	}
+	seenT := make(map[float64]bool)
+	for _, v := range s.Axes.TopFraction {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("campaign %s: top_fraction axis value %g out of [0,1]", s.Name, v)
+		}
+		if seenT[v] {
+			return fmt.Errorf("campaign %s: duplicate top_fraction axis value %g", s.Name, v)
+		}
+		seenT[v] = true
 	}
 	seenD := make(map[float64]bool)
 	for _, v := range s.Axes.Dynamics {
@@ -331,6 +349,14 @@ func (b *Builder) Seeds(vals ...int64) *Builder {
 // Scales sets the payload-scale axis (1 = the paper's 239 MB broadcast).
 func (b *Builder) Scales(vals ...float64) *Builder {
 	b.spec.Axes.Scale = append(b.spec.Axes.Scale, vals...)
+	return b
+}
+
+// TopFractions sets the edge-filter axis: each value keeps only that
+// fraction of the strongest measured edges before clustering (0 or 1
+// keeps everything; see Axes.TopFraction).
+func (b *Builder) TopFractions(vals ...float64) *Builder {
+	b.spec.Axes.TopFraction = append(b.spec.Axes.TopFraction, vals...)
 	return b
 }
 

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/persist"
 	"repro/internal/report"
 )
@@ -17,9 +20,11 @@ import (
 // ExecOptions configures one campaign invocation.
 type ExecOptions struct {
 	// OutDir is the campaign archive directory: manifest.json,
-	// campaign.csv, summary.txt and runs/<key>.json live under it.
+	// manifest.log, campaign.csv, summary.txt, runs/<key>.json archives
+	// with their runs/index.json ledger, and (in fleet mode) leases/ and
+	// manifests/ live under it.
 	OutDir string
-	// Jobs is the campaign-level worker pool (<= 1 runs cells
+	// Jobs is the worker pool of this invocation (<= 1 runs cells
 	// sequentially). Per the worker-budget discipline, Jobs > 1 forces
 	// every cell's inner worker count to 1.
 	Jobs int
@@ -30,19 +35,45 @@ type ExecOptions struct {
 	Resume bool
 	// Log, when non-nil, receives one progress line per completed cell.
 	Log io.Writer
+	// Fleet enables the cross-process coordination protocol: any number
+	// of processes pointed at the same OutDir cooperatively execute the
+	// campaign, each run claimed by exactly one live worker via
+	// leases/<key>.json (see internal/fleet). Each process writes its own
+	// invocation manifest under manifests/<owner>.json; whichever workers
+	// observe quorum completion finalize the shared aggregate — the
+	// bit-identity contract makes the concurrent finalize renames safe.
+	Fleet bool
+	// Owner identifies this worker in leases, the run index and the
+	// manifests/ directory. Empty defaults to host-pid. Must not contain
+	// path separators.
+	Owner string
+	// LeaseTTL is the fleet staleness horizon: a claimed run whose lease
+	// has not been heartbeat-refreshed within the TTL is presumed crashed
+	// and is reclaimed by another worker. <= 0 uses fleet.DefaultTTL.
+	LeaseTTL time.Duration
 }
 
 // Manifest records one campaign invocation: every cell's key, cache
 // disposition, timing and headline scores, plus the aggregate counts the
 // smoke gates assert on. Timing fields vary between invocations; the
 // byte-stable artifacts are campaign.csv and summary.txt.
+//
+// In fleet mode, the shared manifest.json is instead the campaign's
+// cumulative record, rebuilt at finalize from the archive index: every
+// run appears exactly once with the owner that executed it (Fleet is
+// true, and per-entry Cache is "miss" for indexed executions). Each
+// worker's own invocation view lives at manifests/<owner>.json.
 type Manifest struct {
 	Version  int    `json:"version"`
 	Campaign string `json:"campaign"`
 	Jobs     int    `json:"jobs"`
-	Runs     int    `json:"runs"`
-	Hits     int    `json:"hits"`
-	Misses   int    `json:"misses"`
+	// Fleet marks the cumulative fleet manifest; Owner names the worker
+	// of a per-invocation manifest.
+	Fleet  bool   `json:"fleet,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+	Runs   int    `json:"runs"`
+	Hits   int    `json:"hits"`
+	Misses int    `json:"misses"`
 	// Dups counts cells that shared another cell's key within this grid
 	// and reused its result. They are tallied separately from Hits so
 	// that a Resume=false invocation honestly reports zero archive reuse
@@ -64,7 +95,10 @@ type Entry struct {
 	// Cache is "hit" (loaded from the archive), "miss" (computed), or
 	// "dup" (reused an identical-key cell of this same grid); empty for
 	// failed cells.
-	Cache       string  `json:"cache,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	// Owner is the worker that executed the cell; set on misses (and, in
+	// the cumulative fleet manifest, taken from the archive index).
+	Owner       string  `json:"owner,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Q and SimSeconds are always present for done cells: zero is a
 	// legitimate score (a partition collapsed to one cluster has Q = 0)
@@ -85,24 +119,73 @@ type Outcome struct {
 	Docs []*persist.ResultDoc
 	// Table is the aggregate NMI/Q/time table (also written as
 	// campaign.csv and summary.txt under OutDir).
-	Table        *report.Table
+	Table *report.Table
+	// ManifestPath is manifest.json in single-process mode and
+	// manifests/<owner>.json in fleet mode. CSVPath and SummaryPath are
+	// empty when a fleet invocation ended with failures (the aggregate is
+	// finalized only at quorum completion).
 	ManifestPath string
 	CSVPath      string
 	SummaryPath  string
 }
 
-// Execute expands the campaign and runs it: cells are sharded across a
-// bounded pool of Jobs workers, archived cells load from the
-// content-addressed cache instead of recomputing, cells sharing a key
-// within the grid are computed once (the duplicates are deterministic
-// cache hits), fresh cells measure and archive atomically, and the
-// aggregate table is rebuilt from the archives in run order. Failed
-// cells are recorded in the manifest and reported as one error after
-// every other cell has finished; a later resumed invocation recomputes
-// exactly the failed cells.
+// executor is one invocation's worker state: the expanded grid with its
+// in-grid duplicates folded out, the per-cell results as they resolve,
+// and — in fleet mode — the lease tracker coordinating with other
+// processes over the shared OutDir.
+type executor struct {
+	spec    *Spec
+	runs    []Run
+	dupOf   []int // run index -> primary index, or -1 for primaries
+	opt     ExecOptions
+	jobs    int            // clamped job count, also the inner-worker force
+	tracker *fleet.Tracker // nil in single-process mode
+
+	mu sync.Mutex
+	// queue holds the unresolved primary cells. Cells whose lease a peer
+	// holds rotate back with a retry deadline; everything else leaves the
+	// queue for good when it resolves, so a pass over the queue is O(open
+	// cells), never O(grid).
+	queue   []int
+	busy    int         // cells currently assigned to goroutines of this process
+	retryAt []time.Time // earliest next attempt for contended fleet cells
+	entries []Entry
+	docs    []*persist.ResultDoc
+	logMu   sync.Mutex
+}
+
+// Execute expands the campaign and runs it as a fleet of one or more
+// workers. Every invocation — single-process or fleet — is the same
+// loop: scan for an unresolved cell, resolve it from the archive if
+// possible, otherwise claim it, execute, publish the archive atomically,
+// append the index ledger, and release the claim. In single-process mode
+// the claim is a no-op (the in-process scheduler already serialises the
+// grid), so the mode is literally a fleet of one in-process worker; in
+// fleet mode the claim is a lease file and contended cells are retried
+// until a peer's archive appears or its lease goes stale. Cells sharing
+// a key within the grid are computed once (the duplicates are
+// deterministic cache hits), and the aggregate table is rebuilt from the
+// archives in run order. Failed cells are recorded in the manifest and
+// reported as one error after every other cell has finished; a later
+// invocation recomputes exactly the failed cells.
 func Execute(s *Spec, opt ExecOptions) (*Outcome, error) {
 	if opt.OutDir == "" {
 		return nil, fmt.Errorf("campaign: ExecOptions.OutDir is required")
+	}
+	if opt.Owner == "" {
+		opt.Owner = defaultOwner()
+	}
+	if strings.ContainsAny(opt.Owner, "/\\") || opt.Owner == "." || opt.Owner == ".." {
+		return nil, fmt.Errorf("campaign: owner %q must be a plain file name", opt.Owner)
+	}
+	// Resume is how fleet workers resolve peer-executed runs (a contended
+	// cell becomes a cache hit when the holder's archive appears).
+	// Disabling it in fleet mode would make every worker recompute every
+	// cell — N executions per run, serialized behind each other's leases —
+	// silently breaking the exactly-once contract, so the combination is
+	// rejected. To force recomputation, clear the archive instead.
+	if opt.Fleet && !opt.Resume {
+		return nil, fmt.Errorf("campaign: fleet mode requires Resume (remove the archive to force recomputation)")
 	}
 	runs, err := s.Expand()
 	if err != nil {
@@ -133,61 +216,297 @@ func Execute(s *Spec, opt ExecOptions) (*Outcome, error) {
 		jobs = len(unique)
 	}
 
+	x := &executor{
+		spec:    s,
+		runs:    runs,
+		dupOf:   dupOf,
+		opt:     opt,
+		jobs:    jobs,
+		queue:   append([]int(nil), unique...),
+		retryAt: make([]time.Time, len(runs)),
+		entries: make([]Entry, len(runs)),
+		docs:    make([]*persist.ResultDoc, len(runs)),
+	}
+	if opt.Fleet {
+		tr, err := fleet.New(filepath.Join(opt.OutDir, "leases"), opt.Owner, opt.LeaseTTL)
+		if err != nil {
+			return nil, err
+		}
+		defer tr.Close()
+		x.tracker = tr
+	}
+
 	start := time.Now()
-	entries := make([]Entry, len(runs))
-	docs := make([]*persist.ResultDoc, len(runs))
-	tasks := make(chan int)
 	var wg sync.WaitGroup
-	var logMu sync.Mutex
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range tasks {
-				entries[i], docs[i] = executeCell(runs[i], opt, jobs)
-				if opt.Log != nil {
-					logMu.Lock()
-					e := entries[i]
-					status := e.Cache
-					if e.Status == "failed" {
-						status = "FAILED: " + e.Error
-					}
-					fmt.Fprintf(opt.Log, "run %d/%d %s %s: %s (%.2fs)\n",
-						e.Index+1, len(runs), e.Scenario, e.Config, status, e.WallSeconds)
-					logMu.Unlock()
-				}
-			}
+			x.worker()
 		}()
 	}
-	for _, i := range unique {
-		tasks <- i
-	}
-	close(tasks)
 	wg.Wait()
-	for i, p := range dupOf {
+	for i, p := range x.dupOf {
 		if p < 0 {
 			continue
 		}
-		e := entries[p]
+		e := x.entries[p]
 		e.Index = runs[i].Index
 		e.Scenario = runs[i].Scenario
 		e.Config = runs[i].Config()
 		e.WallSeconds = 0
+		e.Owner = ""
 		if e.Status == "done" {
 			e.Cache = "dup"
 		}
-		entries[i] = e
-		docs[i] = docs[p]
+		x.entries[i] = e
+		x.docs[i] = x.docs[p]
 	}
 
+	man := x.invocationManifest()
+	man.WallSeconds = time.Since(start).Seconds()
+
+	out := &Outcome{
+		Runs:     runs,
+		Manifest: man,
+		Docs:     x.docs,
+		Table:    aggregate(s.Name, runs, x.docs),
+	}
+	if err := x.publish(out, man); err != nil {
+		return nil, err
+	}
+	if man.Failures > 0 {
+		return out, fmt.Errorf("campaign %s: %d of %d runs failed (see %s)", s.Name, man.Failures, man.Runs, out.ManifestPath)
+	}
+	return out, nil
+}
+
+// worker is the claim loop: pull the next actionable cell, try to
+// resolve it, park contended cells for a later pass, exit when the whole
+// grid is final.
+func (x *executor) worker() {
+	for {
+		i, wait, ok := x.next()
+		if !ok {
+			return
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+			continue
+		}
+		e, doc, resolved := x.attempt(x.runs[i])
+		x.mu.Lock()
+		x.busy--
+		if resolved {
+			x.entries[i] = e
+			x.docs[i] = doc
+		} else {
+			x.retryAt[i] = time.Now().Add(x.poll())
+			x.queue = append(x.queue, i)
+		}
+		x.mu.Unlock()
+		if resolved {
+			x.logEntry(e)
+			x.streamEntry(e)
+		}
+	}
+}
+
+// next assigns the caller the first queued cell whose retry deadline has
+// passed; parked cells rotate to the back. When every open cell is
+// either being worked in this process or parked until a deadline, it
+// returns a sleep duration instead; when the grid is final it reports
+// done.
+func (x *executor) next() (idx int, wait time.Duration, ok bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	now := time.Now()
+	var soonest time.Time
+	for n := len(x.queue); n > 0; n-- {
+		i := x.queue[0]
+		x.queue = x.queue[1:]
+		if x.retryAt[i].After(now) {
+			if soonest.IsZero() || x.retryAt[i].Before(soonest) {
+				soonest = x.retryAt[i]
+			}
+			x.queue = append(x.queue, i)
+			continue
+		}
+		x.busy++
+		return i, 0, true
+	}
+	if len(x.queue) == 0 && x.busy == 0 {
+		return 0, 0, false
+	}
+	wait = x.poll()
+	if !soonest.IsZero() {
+		if d := soonest.Sub(now); d < wait {
+			wait = d
+		}
+	}
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return 0, wait, true
+}
+
+// poll is the fleet back-off between passes over contended cells: short
+// enough to notice a peer's archive promptly, long enough not to hammer
+// the shared directory. In single-process mode there is no shared
+// directory to spare — the only waiting is for this process's own last
+// cells — so the floor applies.
+func (x *executor) poll() time.Duration {
+	var ttl time.Duration
+	if x.tracker != nil {
+		ttl = x.tracker.TTL()
+	}
+	p := ttl / 8
+	if p < 10*time.Millisecond {
+		p = 10 * time.Millisecond
+	}
+	if p > 500*time.Millisecond {
+		p = 500 * time.Millisecond
+	}
+	return p
+}
+
+// attempt tries to resolve one primary cell: archive load first (the
+// content address makes staleness impossible), then claim-and-execute.
+// In fleet mode a cell whose lease a live peer holds resolves on a later
+// pass — either the peer's archive appears (hit) or its lease goes stale
+// and is reclaimed. Returns resolved=false only for such contended
+// cells.
+func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
+	e := Entry{
+		Index:    run.Index,
+		Scenario: run.Scenario,
+		Config:   run.Config(),
+		Key:      run.Key,
+	}
+	start := time.Now()
+	archive := x.archivePath(run.Key)
+	if x.opt.Resume {
+		if doc, ok := loadArchive(archive); ok {
+			e.Status = "done"
+			e.Cache = "hit"
+			e.WallSeconds = time.Since(start).Seconds()
+			fillScores(&e, doc)
+			return e, doc, true
+		}
+	}
+	if x.tracker != nil {
+		claimed, _, err := x.tracker.Claim(run.Key)
+		if err != nil {
+			e.Status = "failed"
+			e.Error = err.Error()
+			e.WallSeconds = time.Since(start).Seconds()
+			return e, nil, true
+		}
+		if !claimed {
+			return Entry{}, nil, false
+		}
+		defer x.tracker.Release(run.Key)
+		// The claim races the resume check: a peer may have published the
+		// archive between our load attempt and winning the lease (it held
+		// the lease then). Re-check before spending the measurement.
+		if x.opt.Resume {
+			if doc, ok := loadArchive(archive); ok {
+				e.Status = "done"
+				e.Cache = "hit"
+				e.WallSeconds = time.Since(start).Seconds()
+				fillScores(&e, doc)
+				return e, doc, true
+			}
+		}
+	}
+	doc, err := computeCell(run, x.jobs)
+	if err == nil {
+		err = persist.SaveResult(archive, doc)
+	}
+	e.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		e.Status = "failed"
+		e.Error = err.Error()
+		return e, nil, true
+	}
+	e.Status = "done"
+	e.Cache = "miss"
+	e.Owner = x.opt.Owner
+	fillScores(&e, doc)
+	// Ledger append is advisory (archives are the ground truth), so a
+	// failure here must not fail a completed measurement.
+	if err := fleet.AppendIndex(x.indexPath(), fleet.IndexEntry{
+		Key:           run.Key,
+		Run:           run.Index,
+		Scenario:      run.Scenario,
+		Owner:         x.opt.Owner,
+		Cache:         "miss",
+		WallSeconds:   e.WallSeconds,
+		CompletedUnix: fleet.NowUnix(),
+	}); err != nil && x.opt.Log != nil {
+		x.logMu.Lock()
+		fmt.Fprintf(x.opt.Log, "index append failed (non-fatal): %v\n", err)
+		x.logMu.Unlock()
+	}
+	return e, doc, true
+}
+
+func (x *executor) archivePath(key string) string {
+	return filepath.Join(x.opt.OutDir, "runs", key+".json")
+}
+
+func (x *executor) indexPath() string {
+	return filepath.Join(x.opt.OutDir, "runs", "index.json")
+}
+
+// logEntry writes the per-cell progress line.
+func (x *executor) logEntry(e Entry) {
+	if x.opt.Log == nil {
+		return
+	}
+	x.logMu.Lock()
+	defer x.logMu.Unlock()
+	status := e.Cache
+	if e.Status == "failed" {
+		status = "FAILED: " + e.Error
+	}
+	fmt.Fprintf(x.opt.Log, "run %d/%d %s %s: %s (%.2fs)\n",
+		e.Index+1, len(x.runs), e.Scenario, e.Config, status, e.WallSeconds)
+}
+
+// streamEntry appends the finished cell to manifest.log, the streamed
+// manifest: one JSON line per completion, flushed as it happens, so a
+// long campaign reports progress and a killed one loses nothing — the
+// log plus the archives reconstruct everything manifest.json would have
+// said. Shared by all fleet workers (whole-line O_APPEND interleaving).
+func (x *executor) streamEntry(e Entry) {
+	if err := fleet.AppendLine(filepath.Join(x.opt.OutDir, "manifest.log"), e); err != nil && x.opt.Log != nil {
+		x.logMu.Lock()
+		fmt.Fprintf(x.opt.Log, "manifest.log append failed (non-fatal): %v\n", err)
+		x.logMu.Unlock()
+	}
+}
+
+// invocationManifest tallies this invocation's entries.
+func (x *executor) invocationManifest() *Manifest {
 	man := &Manifest{
 		Version:  1,
-		Campaign: s.Name,
-		Jobs:     opt.Jobs,
-		Runs:     len(runs),
-		Entries:  entries,
+		Campaign: x.spec.Name,
+		Jobs:     x.opt.Jobs,
+		Runs:     len(x.runs),
+		Entries:  x.entries,
 	}
-	for _, e := range entries {
+	if x.opt.Fleet {
+		man.Owner = x.opt.Owner
+	}
+	countEntries(man)
+	return man
+}
+
+// countEntries derives the aggregate counters from the entry list.
+func countEntries(man *Manifest) {
+	man.Hits, man.Misses, man.Dups, man.Failures = 0, 0, 0, 0
+	for _, e := range man.Entries {
 		switch {
 		case e.Status == "failed":
 			man.Failures++
@@ -199,81 +518,127 @@ func Execute(s *Spec, opt ExecOptions) (*Outcome, error) {
 			man.Misses++
 		}
 	}
-	man.WallSeconds = time.Since(start).Seconds()
-
-	out := &Outcome{
-		Runs:         runs,
-		Manifest:     man,
-		Docs:         docs,
-		Table:        aggregate(s.Name, runs, docs),
-		ManifestPath: filepath.Join(opt.OutDir, "manifest.json"),
-		CSVPath:      filepath.Join(opt.OutDir, "campaign.csv"),
-		SummaryPath:  filepath.Join(opt.OutDir, "summary.txt"),
-	}
-	if err := persist.SaveJSON(out.ManifestPath, man); err != nil {
-		return nil, err
-	}
-	if err := persist.WriteAtomic(out.CSVPath, out.Table.WriteCSV); err != nil {
-		return nil, err
-	}
-	if err := persist.WriteAtomic(out.SummaryPath, out.Table.Write); err != nil {
-		return nil, err
-	}
-	if man.Failures > 0 {
-		return out, fmt.Errorf("campaign %s: %d of %d runs failed (see %s)", s.Name, man.Failures, man.Runs, out.ManifestPath)
-	}
-	return out, nil
 }
 
-// executeCell runs (or loads) one grid cell and returns its manifest
-// entry plus archived document.
-func executeCell(run Run, opt ExecOptions, jobs int) (Entry, *persist.ResultDoc) {
-	e := Entry{
-		Index:    run.Index,
-		Scenario: run.Scenario,
-		Config:   run.Config(),
-		Key:      run.Key,
+// publish writes the invocation's artifacts. Single-process mode keeps
+// the original layout: manifest.json plus the aggregate, always. Fleet
+// mode writes this worker's view to manifests/<owner>.json and — only at
+// quorum completion (every cell of the grid archived) — finalizes the
+// shared aggregate and the cumulative manifest.json; concurrent
+// finalizers produce byte-identical aggregates, so the last rename wins
+// harmlessly.
+func (x *executor) publish(out *Outcome, man *Manifest) error {
+	if !x.opt.Fleet {
+		out.ManifestPath = filepath.Join(x.opt.OutDir, "manifest.json")
+		out.CSVPath = filepath.Join(x.opt.OutDir, "campaign.csv")
+		out.SummaryPath = filepath.Join(x.opt.OutDir, "summary.txt")
+		if err := persist.SaveJSON(out.ManifestPath, man); err != nil {
+			return err
+		}
+		if err := persist.WriteAtomic(out.CSVPath, out.Table.WriteCSV); err != nil {
+			return err
+		}
+		return persist.WriteAtomic(out.SummaryPath, out.Table.Write)
 	}
-	start := time.Now()
-	archive := filepath.Join(opt.OutDir, "runs", run.Key+".json")
-	doc, cached, err := loadOrRun(run, archive, opt.Resume, jobs)
-	e.WallSeconds = time.Since(start).Seconds()
+	out.ManifestPath = filepath.Join(x.opt.OutDir, "manifests", x.opt.Owner+".json")
+	if err := persist.SaveJSON(out.ManifestPath, man); err != nil {
+		return err
+	}
+	if man.Failures > 0 {
+		return nil // no quorum; a later invocation completes the grid
+	}
+	merged := x.cumulativeManifest()
+	merged.WallSeconds = man.WallSeconds
+	if err := persist.SaveJSON(filepath.Join(x.opt.OutDir, "manifest.json"), merged); err != nil {
+		return err
+	}
+	out.CSVPath = filepath.Join(x.opt.OutDir, "campaign.csv")
+	out.SummaryPath = filepath.Join(x.opt.OutDir, "summary.txt")
+	if err := persist.WriteAtomic(out.CSVPath, out.Table.WriteCSV); err != nil {
+		return err
+	}
+	return persist.WriteAtomic(out.SummaryPath, out.Table.Write)
+}
+
+// cumulativeManifest is the fleet's shared manifest.json: every run of
+// the grid exactly once, attributed to the owner that executed it per the
+// archive index (directory-scan fallback yields archived-but-unattributed
+// "hit" entries — an archive that predates the index).
+func (x *executor) cumulativeManifest() *Manifest {
+	completed, err := fleet.Completed(x.indexPath(), filepath.Join(x.opt.OutDir, "runs"))
 	if err != nil {
-		e.Status = "failed"
-		e.Error = err.Error()
-		return e, nil
+		completed = nil
 	}
-	e.Status = "done"
-	e.Cache = "miss"
-	if cached {
-		e.Cache = "hit"
+	entries := make([]Entry, len(x.runs))
+	for i, run := range x.runs {
+		e := Entry{
+			Index:    run.Index,
+			Scenario: run.Scenario,
+			Config:   run.Config(),
+			Key:      run.Key,
+			Status:   "done",
+		}
+		if p := x.dupOf[i]; p >= 0 {
+			e.Cache = "dup"
+			fillScores(&e, x.docs[i])
+			entries[i] = e
+			continue
+		}
+		if rec, ok := completed[run.Key]; ok && rec.Owner != "" {
+			e.Cache = "miss"
+			e.Owner = rec.Owner
+			e.WallSeconds = rec.WallSeconds
+		} else {
+			e.Cache = "hit"
+		}
+		fillScores(&e, x.docs[i])
+		entries[i] = e
 	}
+	man := &Manifest{
+		Version:  1,
+		Campaign: x.spec.Name,
+		Jobs:     x.opt.Jobs,
+		Fleet:    true,
+		Runs:     len(x.runs),
+		Entries:  entries,
+	}
+	countEntries(man)
+	return man
+}
+
+// fillScores copies the archived document's headline scores into an
+// entry.
+func fillScores(e *Entry, doc *persist.ResultDoc) {
 	e.Q = doc.Q
 	e.NMI = doc.NMI
 	e.SimSeconds = doc.SimTime
-	return e, doc
 }
 
-// loadOrRun is the cache protocol: an archive that loads and decodes
+// loadArchive is the cache probe: an archive that loads and decodes
 // cleanly is the cell's result (content addressing makes staleness
-// impossible — any input change changes the key); anything else falls
-// through to a fresh measurement whose archive is published atomically,
-// so a cell interrupted mid-write can never poison a later resume.
-func loadOrRun(run Run, archive string, resume bool, jobs int) (*persist.ResultDoc, bool, error) {
-	if resume {
-		if doc, err := persist.LoadResult(archive); err == nil {
-			if _, err := doc.Partition(); err == nil {
-				return doc, true, nil
-			}
-		}
+// impossible — any input change changes the key); anything else — absent,
+// torn, or unreadable — is a miss.
+func loadArchive(path string) (*persist.ResultDoc, bool) {
+	doc, err := persist.LoadResult(path)
+	if err != nil {
+		return nil, false
 	}
+	if _, err := doc.Partition(); err != nil {
+		return nil, false
+	}
+	return doc, true
+}
+
+// computeCell runs one cell's measurement and encodes its archive
+// document.
+func computeCell(run Run, jobs int) (*persist.ResultDoc, error) {
 	d, err := run.Spec.Compile()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	res, err := core.RunDataset(d, run.Options(jobs))
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	var series []float64
 	for _, rec := range res.Iterations {
@@ -281,23 +646,29 @@ func loadOrRun(run Run, archive string, resume bool, jobs int) (*persist.ResultD
 			series = append(series, rec.NMI)
 		}
 	}
-	doc := persist.EncodeResult(run.Spec.Name, res.Partition, res.Q, res.NMI, res.TotalMeasurementTime, series)
-	if err := persist.SaveResult(archive, doc); err != nil {
-		return nil, false, err
+	return persist.EncodeResult(run.Spec.Name, res.Partition, res.Q, res.NMI, res.TotalMeasurementTime, series), nil
+}
+
+// defaultOwner identifies this process when no owner was configured.
+func defaultOwner() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
 	}
-	return doc, false, nil
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
 // aggregate builds the campaign's NMI/Q/time table from the archived
 // documents in run order. Every cell value is derived from the archive
 // (never from in-memory state) and floats render shortest-round-trip, so
 // the table — and the CSV and summary files written from it — is
-// byte-identical across invocations, job counts and cache states.
+// byte-identical across invocations, job counts, cache states and fleet
+// layouts.
 func aggregate(name string, runs []Run, docs []*persist.ResultDoc) *report.Table {
 	t := &report.Table{
 		Title: "Campaign " + name,
 		Header: []string{"run", "scenario", "dynamics", "iterations", "window",
-			"rotate_root", "seed", "scale", "workers", "clusters", "q", "nmi", "sim_seconds", "key"},
+			"rotate_root", "seed", "scale", "top_fraction", "workers", "clusters", "q", "nmi", "sim_seconds", "key"},
 		Caption: "one row per grid cell, in expansion order; key is the content address of the archived result",
 	}
 	for i, run := range runs {
@@ -321,6 +692,7 @@ func aggregate(name string, runs []Run, docs []*persist.ResultDoc) *report.Table
 			strconv.FormatBool(run.RotateRoot),
 			strconv.FormatInt(run.Seed, 10),
 			formatFloat(run.Scale),
+			formatFloat(run.TopFraction),
 			strconv.Itoa(run.Workers),
 			clusters, q, nmiS, simS,
 			run.Key[:12],

@@ -25,13 +25,14 @@ type Run struct {
 	Spec *scenario.Spec
 	// DynScale is the dynamics-intensity coordinate.
 	DynScale float64
-	// Iterations, Window, RotateRoot, Seed and Scale are the
+	// Iterations, Window, RotateRoot, Seed, Scale and TopFraction are the
 	// result-relevant option coordinates.
-	Iterations int
-	Window     int
-	RotateRoot bool
-	Seed       int64
-	Scale      float64
+	Iterations  int
+	Window      int
+	RotateRoot  bool
+	Seed        int64
+	Scale       float64
+	TopFraction float64
 	// Workers is the requested per-run worker count — execution policy,
 	// excluded from Key (see Axes.Workers).
 	Workers int
@@ -43,8 +44,8 @@ type Run struct {
 // Config renders the cell's option coordinates compactly for manifests,
 // logs and dry-run listings.
 func (r Run) Config() string {
-	return fmt.Sprintf("dyn=%g iters=%d window=%d rotate=%v seed=%d scale=%g workers=%d",
-		r.DynScale, r.Iterations, r.Window, r.RotateRoot, r.Seed, r.Scale, r.Workers)
+	return fmt.Sprintf("dyn=%g iters=%d window=%d rotate=%v seed=%d scale=%g top=%g workers=%d",
+		r.DynScale, r.Iterations, r.Window, r.RotateRoot, r.Seed, r.Scale, r.TopFraction, r.Workers)
 }
 
 // Options materialises the cell's core options. campaignJobs is the
@@ -58,6 +59,7 @@ func (r Run) Options(campaignJobs int) core.Options {
 	opts.Window = r.Window
 	opts.RotateRoot = r.RotateRoot
 	opts.Seed = r.Seed
+	opts.TopFraction = r.TopFraction
 	opts.BT.FileBytes = scaledPayload(opts.BT.FileBytes, opts.BT.FragmentSize, r.Scale)
 	// Grid cells are scored on their final NMI/Q; per-iteration
 	// clustering would multiply the analysis cost of every cell without
@@ -90,7 +92,7 @@ func scaledPayload(fileBytes, fragmentSize int, scale float64) int {
 // Expand resolves the campaign's scenarios and expands the cross-product
 // of all axes into the ordered run list. The order is deterministic:
 // scenarios outermost, then dynamics, iterations, window, rotate-root,
-// seed, scale, workers, each axis in declaration order. Expansion fails —
+// seed, scale, top-fraction, workers, each axis in declaration order. Expansion fails —
 // rather than expanding a cell that cannot run — when a scenario does not
 // resolve, a scaled timeline no longer validates, or a cell's dynamics
 // events target iterations beyond its budget.
@@ -118,6 +120,7 @@ func (s *Spec) Expand() ([]Run, error) {
 		seeds = []int64{def.Seed}
 	}
 	scales := orDefaultFloats(s.Axes.Scale, 1)
+	topFracs := orDefaultFloats(s.Axes.TopFraction, def.TopFraction)
 	dyns := orDefaultFloats(s.Axes.Dynamics, 1)
 	workers := orDefaultInts(s.Axes.Workers, 1)
 
@@ -141,32 +144,36 @@ func (s *Spec) Expand() ([]Run, error) {
 					for _, rot := range rotates {
 						for _, seed := range seeds {
 							for _, scale := range scales {
-								for _, wk := range workers {
-									run := Run{
-										Index:      len(runs),
-										Scenario:   name,
-										Spec:       variant,
-										DynScale:   dyn,
-										Iterations: it,
-										Window:     win,
-										RotateRoot: rot,
-										Seed:       seed,
-										Scale:      scale,
-										Workers:    wk,
+								for _, top := range topFracs {
+									for _, wk := range workers {
+										run := Run{
+											Index:       len(runs),
+											Scenario:    name,
+											Spec:        variant,
+											DynScale:    dyn,
+											Iterations:  it,
+											Window:      win,
+											RotateRoot:  rot,
+											Seed:        seed,
+											Scale:       scale,
+											TopFraction: top,
+											Workers:     wk,
+										}
+										key, err := runKey(variantJSON, optionsKey{
+											Iterations:   it,
+											Window:       win,
+											RotateRoot:   rot,
+											Seed:         seed,
+											TopFraction:  canonTopFraction(top),
+											FileBytes:    scaledPayload(def.BT.FileBytes, def.BT.FragmentSize, scale),
+											FragmentSize: def.BT.FragmentSize,
+										})
+										if err != nil {
+											return nil, fmt.Errorf("campaign %s: %s: %w", s.Name, name, err)
+										}
+										run.Key = key
+										runs = append(runs, run)
 									}
-									key, err := runKey(variantJSON, optionsKey{
-										Iterations:   it,
-										Window:       win,
-										RotateRoot:   rot,
-										Seed:         seed,
-										FileBytes:    scaledPayload(def.BT.FileBytes, def.BT.FragmentSize, scale),
-										FragmentSize: def.BT.FragmentSize,
-									})
-									if err != nil {
-										return nil, fmt.Errorf("campaign %s: %s: %w", s.Name, name, err)
-									}
-									run.Key = key
-									runs = append(runs, run)
 								}
 							}
 						}

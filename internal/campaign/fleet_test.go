@@ -1,0 +1,328 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/persist"
+)
+
+// fleetOpts is a fast-polling fleet configuration for tests: a short TTL
+// keeps contention back-off in the milliseconds.
+func fleetOpts(out, owner string) ExecOptions {
+	return ExecOptions{
+		OutDir:   out,
+		Jobs:     2,
+		Resume:   true,
+		Fleet:    true,
+		Owner:    owner,
+		LeaseTTL: 500 * time.Millisecond,
+	}
+}
+
+// Two concurrent fleet workers over one shared archive must partition the
+// grid — every run executed exactly once across the fleet — and finalize
+// an aggregate byte-identical to a single-process run of the same
+// campaign.
+func TestFleetTwoWorkersExecuteExactlyOnce(t *testing.T) {
+	spec := testCampaign(t)
+
+	// Single-process reference.
+	ref := mustExecute(t, spec, ExecOptions{OutDir: filepath.Join(t.TempDir(), "ref"), Jobs: 2, Resume: true})
+	refCSV := readFile(t, ref.CSVPath)
+	refSum := readFile(t, ref.SummaryPath)
+
+	shared := filepath.Join(t.TempDir(), "shared")
+	outs := make([]*Outcome, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, owner := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = Execute(spec, fleetOpts(shared, owner))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	// Exactly-once: the index ledger has one execution per unique key, and
+	// the workers' miss counts partition the grid.
+	idx, err := fleet.ReadIndex(filepath.Join(shared, "runs", "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("index has %d executions, want 4 (exactly once): %+v", len(idx), idx)
+	}
+	missSum := outs[0].Manifest.Misses + outs[1].Manifest.Misses
+	hitSum := outs[0].Manifest.Hits + outs[1].Manifest.Hits
+	if missSum != 4 || hitSum != 4 {
+		t.Fatalf("misses %d + %d and hits %d + %d do not partition the 4-cell grid run twice",
+			outs[0].Manifest.Misses, outs[1].Manifest.Misses, outs[0].Manifest.Hits, outs[1].Manifest.Hits)
+	}
+
+	// Byte-identity of the finalized aggregate with the single-process run.
+	if !bytes.Equal(refCSV, readFile(t, filepath.Join(shared, "campaign.csv"))) {
+		t.Fatal("fleet campaign.csv differs from the single-process run")
+	}
+	if !bytes.Equal(refSum, readFile(t, filepath.Join(shared, "summary.txt"))) {
+		t.Fatal("fleet summary.txt differs from the single-process run")
+	}
+
+	// Per-owner manifests exist; the cumulative manifest.json attributes
+	// every run to exactly one owner.
+	for _, owner := range []string{"alpha", "beta"} {
+		if _, err := os.Stat(filepath.Join(shared, "manifests", owner+".json")); err != nil {
+			t.Fatalf("owner manifest missing: %v", err)
+		}
+	}
+	var merged Manifest
+	data := readFile(t, filepath.Join(shared, "manifest.json"))
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Fleet || merged.Runs != 4 || merged.Misses != 4 || merged.Failures != 0 {
+		t.Fatalf("cumulative manifest: %+v", merged)
+	}
+	for _, e := range merged.Entries {
+		if e.Cache != "miss" || (e.Owner != "alpha" && e.Owner != "beta") {
+			t.Fatalf("cumulative entry not attributed to one executing owner: %+v", e)
+		}
+	}
+
+	// All leases are released after a healthy run.
+	leases, err := os.ReadDir(filepath.Join(shared, "leases"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 0 {
+		t.Fatalf("%d leases left behind", len(leases))
+	}
+
+	// A later fleet invocation resolves everything from the archive: 100%
+	// cache hits, zero new executions, byte-identical aggregate.
+	warm := mustExecute(t, spec, fleetOpts(shared, "gamma"))
+	if warm.Manifest.Hits != 4 || warm.Manifest.Misses != 0 {
+		t.Fatalf("warm fleet invocation recomputed: %+v", warm.Manifest)
+	}
+	idx, err = fleet.ReadIndex(filepath.Join(shared, "runs", "index.json"))
+	if err != nil || len(idx) != 4 {
+		t.Fatalf("warm invocation extended the index to %d entries (err=%v)", len(idx), err)
+	}
+	if !bytes.Equal(refCSV, readFile(t, filepath.Join(shared, "campaign.csv"))) {
+		t.Fatal("warm fleet invocation changed campaign.csv")
+	}
+}
+
+// A worker killed mid-run leaves a stale lease and no archive. The next
+// worker must reclaim the lease, re-execute the cell, and publish an
+// archive byte-identical to an undisturbed execution — the idempotent
+// completion the bit-identity contract guarantees.
+func TestFleetReclaimsStaleLeaseAndReexecutesIdentically(t *testing.T) {
+	spec := testCampaign(t)
+	ref := mustExecute(t, spec, ExecOptions{OutDir: filepath.Join(t.TempDir(), "ref"), Jobs: 1, Resume: true})
+
+	out := filepath.Join(t.TempDir(), "crashed")
+	crashKey := ref.Runs[1].Key
+	// The crashed worker's debris: a lease whose heartbeat stopped two
+	// TTLs ago, plus a stray half-written temp sibling of the archive it
+	// never published.
+	leases := filepath.Join(out, "leases")
+	if err := os.MkdirAll(leases, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(map[string]any{
+		"version": 1, "owner": "casualty", "epoch": 1,
+		"acquired_unix":  float64(time.Now().Add(-time.Minute).UnixNano()) / 1e9,
+		"heartbeat_unix": float64(time.Now().Add(-time.Minute).UnixNano()) / 1e9,
+		"ttl_seconds":    0.5,
+	})
+	if err := os.WriteFile(filepath.Join(leases, crashKey+".json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runsDir := filepath.Join(out, "runs")
+	if err := os.MkdirAll(runsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(runsDir, crashKey+".json.tmp-666"), []byte(`{"version":1,"n":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustExecute(t, spec, fleetOpts(out, "rescuer"))
+	if res.Manifest.Misses != 4 || res.Manifest.Failures != 0 {
+		t.Fatalf("rescue run: %+v", res.Manifest)
+	}
+	for _, e := range res.Manifest.Entries {
+		if e.Key == crashKey && (e.Cache != "miss" || e.Owner != "rescuer") {
+			t.Fatalf("crashed cell not re-executed by the rescuer: %+v", e)
+		}
+	}
+	// Idempotent completion: the re-executed archive is byte-identical to
+	// the undisturbed reference's.
+	want := readFile(t, filepath.Join(filepath.Dir(ref.CSVPath), "runs", crashKey+".json"))
+	got := readFile(t, filepath.Join(runsDir, crashKey+".json"))
+	if !bytes.Equal(want, got) {
+		t.Fatal("re-executed archive differs from the undisturbed execution")
+	}
+	if !bytes.Equal(readFile(t, ref.CSVPath), readFile(t, filepath.Join(out, "campaign.csv"))) {
+		t.Fatal("aggregate differs after crash recovery")
+	}
+}
+
+// A live peer's lease is honoured: the cell resolves only once the peer
+// publishes its archive, and it is never re-executed.
+func TestFleetWaitsForLiveHolder(t *testing.T) {
+	spec := testCampaign(t)
+	out := filepath.Join(t.TempDir(), "camp")
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldKey := runs[0].Key
+
+	// A "peer" holding the first cell's lease with live heartbeats.
+	holder, herr := fleet.New(filepath.Join(out, "leases"), "peer", 400*time.Millisecond)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	defer holder.Close()
+	if ok, _, _ := holder.Claim(heldKey); !ok {
+		t.Fatal("setup claim failed")
+	}
+
+	// After a delay, the peer "publishes" its archive (computed out of
+	// band — the same bytes any worker would produce) and releases.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	ref := mustExecute(t, spec, ExecOptions{OutDir: refDir, Jobs: 1, Resume: true})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		data, _ := os.ReadFile(filepath.Join(refDir, "runs", heldKey+".json"))
+		persist.WriteAtomic(filepath.Join(out, "runs", heldKey+".json"), func(w io.Writer) error {
+			_, werr := w.Write(data)
+			return werr
+		})
+		holder.Release(heldKey)
+	}()
+
+	res := mustExecute(t, spec, fleetOpts(out, "worker"))
+	if res.Manifest.Failures != 0 {
+		t.Fatalf("fleet run failed: %+v", res.Manifest)
+	}
+	for _, e := range res.Manifest.Entries {
+		if e.Key == heldKey && e.Cache != "hit" {
+			t.Fatalf("held cell was not resolved from the peer's archive: %+v", e)
+		}
+	}
+	if !bytes.Equal(readFile(t, ref.CSVPath), readFile(t, filepath.Join(out, "campaign.csv"))) {
+		t.Fatal("aggregate differs")
+	}
+	// The peer executed one cell, this worker the other three.
+	idx, err := fleet.ReadIndex(filepath.Join(out, "runs", "index.json"))
+	if err != nil || len(idx) != 3 {
+		t.Fatalf("index: %d entries (err=%v), want 3 worker executions", len(idx), err)
+	}
+}
+
+// Finalize attribution falls back to a directory scan when the index
+// ledger is absent (an archive written before indexes existed): the runs
+// still resolve, the aggregate is rebuilt byte-identically, and the
+// cumulative manifest reports unattributed hits.
+func TestFleetIndexScanFallback(t *testing.T) {
+	spec := testCampaign(t)
+	out := filepath.Join(t.TempDir(), "camp")
+	mustExecute(t, spec, fleetOpts(out, "alpha"))
+	coldCSV := readFile(t, filepath.Join(out, "campaign.csv"))
+	if err := os.Remove(filepath.Join(out, "runs", "index.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := mustExecute(t, spec, fleetOpts(out, "beta"))
+	if warm.Manifest.Hits != 4 || warm.Manifest.Misses != 0 {
+		t.Fatalf("warm run after index loss recomputed: %+v", warm.Manifest)
+	}
+	if !bytes.Equal(coldCSV, readFile(t, filepath.Join(out, "campaign.csv"))) {
+		t.Fatal("aggregate changed after index loss")
+	}
+	var merged Manifest
+	if err := json.Unmarshal(readFile(t, filepath.Join(out, "manifest.json")), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Hits != 4 || merged.Misses != 0 {
+		t.Fatalf("scan-fallback cumulative manifest: %+v", merged)
+	}
+	for _, e := range merged.Entries {
+		if e.Cache != "hit" || e.Owner != "" {
+			t.Fatalf("scan-fallback entry should be an unattributed hit: %+v", e)
+		}
+	}
+}
+
+// The streamed manifest: every finished cell is flushed to manifest.log
+// as one JSON line the moment it completes, so a killed campaign's
+// progress is never lost.
+func TestManifestLogStreamsEntries(t *testing.T) {
+	spec := testCampaign(t)
+	out := filepath.Join(t.TempDir(), "camp")
+	res := mustExecute(t, spec, ExecOptions{OutDir: out, Jobs: 2, Resume: true})
+
+	data := readFile(t, filepath.Join(out, "manifest.log"))
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("manifest.log has %d lines, want 4 (one per unique cell)", len(lines))
+	}
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("manifest.log line %q: %v", line, err)
+		}
+		if e.Status != "done" || e.Cache != "miss" {
+			t.Fatalf("streamed entry: %+v", e)
+		}
+		seen[e.Key] = true
+	}
+	for _, r := range res.Runs {
+		if !seen[r.Key] {
+			t.Fatalf("run %s missing from manifest.log", r.Key[:8])
+		}
+	}
+	// A warm invocation streams its hits too: the log is an append-only
+	// record of every invocation's completions.
+	mustExecute(t, spec, ExecOptions{OutDir: out, Jobs: 1, Resume: true})
+	data = readFile(t, filepath.Join(out, "manifest.log"))
+	if got := len(strings.Split(strings.TrimSpace(string(data)), "\n")); got != 8 {
+		t.Fatalf("manifest.log has %d lines after warm run, want 8", got)
+	}
+}
+
+// Fleet mode without resume would have every worker recompute every
+// cell — N executions per run — so the combination is rejected loudly.
+func TestFleetRejectsResumeFalse(t *testing.T) {
+	spec := testCampaign(t)
+	_, err := Execute(spec, ExecOptions{OutDir: t.TempDir(), Fleet: true, Owner: "a", Resume: false})
+	if err == nil || !strings.Contains(err.Error(), "Resume") {
+		t.Fatalf("fleet without resume accepted: %v", err)
+	}
+}
+
+func TestExecuteRejectsPathOwner(t *testing.T) {
+	spec := testCampaign(t)
+	for _, owner := range []string{"a/b", `a\b`, ".", ".."} {
+		if _, err := Execute(spec, ExecOptions{OutDir: t.TempDir(), Owner: owner}); err == nil {
+			t.Fatalf("owner %q accepted", owner)
+		}
+	}
+}

@@ -25,20 +25,22 @@ import (
 
 // keyVersion is bumped whenever the key document's semantics change, so
 // archives written under an older scheme are recomputed rather than
-// misread.
-const keyVersion = 1
+// misread. v2: TopFraction joined the result-relevant options (the
+// top_fraction axis), invalidating every v1 archive.
+const keyVersion = 2
 
 // optionsKey is the canonical form of the result-relevant options. The
 // payload enters as resolved FileBytes, not the scale factor: two scale
 // values that floor to the same fragment-rounded payload are the same
 // measurement.
 type optionsKey struct {
-	Iterations   int   `json:"iterations"`
-	Window       int   `json:"window"`
-	RotateRoot   bool  `json:"rotate_root"`
-	Seed         int64 `json:"seed"`
-	FileBytes    int   `json:"file_bytes"`
-	FragmentSize int   `json:"fragment_size"`
+	Iterations   int     `json:"iterations"`
+	Window       int     `json:"window"`
+	RotateRoot   bool    `json:"rotate_root"`
+	Seed         int64   `json:"seed"`
+	TopFraction  float64 `json:"top_fraction"`
+	FileBytes    int     `json:"file_bytes"`
+	FragmentSize int     `json:"fragment_size"`
 }
 
 // keyDoc is the hashed document.
@@ -46,6 +48,18 @@ type keyDoc struct {
 	Version  int             `json:"campaign_key_version"`
 	Scenario json.RawMessage `json:"scenario"`
 	Options  optionsKey      `json:"options"`
+}
+
+// canonTopFraction canonicalises the edge-filter coordinate for hashing:
+// 0 and 1 both mean "keep every edge" (the filter applies only in (0,1)),
+// so they are the same measurement and must share a key — the same
+// normalization rule that enters the payload as resolved FileBytes rather
+// than the scale factor.
+func canonTopFraction(v float64) float64 {
+	if v == 1 {
+		return 0
+	}
+	return v
 }
 
 // canonicalSpec renders a scenario spec's canonical JSON once, so grid

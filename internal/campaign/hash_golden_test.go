@@ -19,13 +19,16 @@ import "testing"
 // invalidated. An unintentional failure means refactoring changed the
 // canonical bytes; fix the refactor instead of the goldens.
 func TestBuiltinCacheKeysArePinned(t *testing.T) {
+	// Pinned under key schema v2 (keyVersion 2: TopFraction joined the
+	// result-relevant options when the top_fraction axis landed; v1
+	// archives are deliberately invalidated).
 	golden := map[string]string{
-		"2x2":  "a3e86e307e496414c0b0aa681247bd1fd75970b513294edefb2d45e6e1bbf398",
-		"B":    "676715eda708d90485b86da2aade53e6ea6ae58f06d469706ac24138f6cfa2a5",
-		"BGT":  "b15cffc5f2185f0917f472395316dbc6a1ad4e803e88730fd411aad883347703",
-		"BGTL": "2c3684789e28c2dbb31b05a94493de09910048549aec3d6fc8b52edfe289c52e",
-		"BT":   "cf33a36a1e5554b4e72856fcd58043356bef4e7ca4594c4a18d039bfba231e15",
-		"GT":   "eff79773dca9d96ad8a451be0749d12863a009bbcd771bc05c42828cafb420b8",
+		"2x2":  "3b230f2ba467cbbae92ad5fd75d2069740b47196616a46898274864b6b07a7bf",
+		"B":    "f38eecbbbe796e02316ac59d35cce155fa3342f551f784c2084e2583c91fc5c1",
+		"BGT":  "44c975b6bf45acdcf5f3c1925dbf46773688068eb4353522c20e32400e6445ff",
+		"BGTL": "c250d94dc5cb432ee509e852277a96d35c5dccef7541f491cbb1163c195e5497",
+		"BT":   "2eeac7c1dc49a3a82f5b5c97223ce47692b0fb8acbbd42081f4aad8bdee7638a",
+		"GT":   "839fdf0be3705a62b9b8016c10f587db29b00a84038ea1de8d02b110e036a90a",
 	}
 	spec := NewBuilder("golden").
 		Scenario("2x2", "B", "BGT", "BGTL", "BT", "GT").

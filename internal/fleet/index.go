@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// The archive index, runs/index.json, is the campaign cache's ledger: one
+// JSON object per line, appended when a run's archive is published. At
+// million-run scale it lets resume and finalize learn the completed set —
+// and which owner executed each run — from one sequential read instead of
+// an O(runs) directory scan. The index is advisory: archive files remain
+// the ground truth (a run is complete exactly when runs/<key>.json loads),
+// so a missing or stale index degrades to a scan, never to wrong results.
+//
+// Appends are single O_APPEND writes of one newline-terminated line,
+// which the kernel serialises across processes on POSIX-semantics
+// filesystems; readers skip any torn or blank line, so a worker killed
+// mid-append cannot poison the ledger. On filesystems that only
+// approximate O_APPEND across machines (NFS), concurrent appends can
+// overwrite each other — losing a line's attribution, never a result,
+// because the archives stay the ground truth.
+
+// IndexEntry records one run execution in runs/index.json.
+type IndexEntry struct {
+	// Key is the run's content address (the archive is runs/<key>.json).
+	Key string `json:"key"`
+	// Run is the expansion index of the cell that triggered the execution
+	// (the primary cell, for grids with duplicate keys).
+	Run int `json:"run"`
+	// Scenario is the cell's scenario display name.
+	Scenario string `json:"scenario,omitempty"`
+	// Owner is the worker that executed the run; empty for entries
+	// synthesised by the directory-scan fallback.
+	Owner string `json:"owner,omitempty"`
+	// Cache is the disposition that produced the archive — "miss" for a
+	// fresh execution (the only kind appended today).
+	Cache       string  `json:"cache,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// CompletedUnix is the archive publication time.
+	CompletedUnix float64 `json:"completed_unix,omitempty"`
+}
+
+// AppendIndex appends one entry to the index as a single atomic
+// O_APPEND write.
+func AppendIndex(path string, e IndexEntry) error {
+	return AppendLine(path, e)
+}
+
+// AppendLine appends v as one newline-terminated JSON line to path,
+// creating the file (and parent directories) if needed. The line is
+// written with a single O_APPEND write, so concurrent appenders from any
+// number of processes interleave whole lines, never bytes.
+func AppendLine(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIndex reads every well-formed entry of an index file, in append
+// order. Torn or blank lines (a crash mid-append) are skipped; a missing
+// file is an empty index, not an error.
+func ReadIndex(path string) ([]IndexEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var entries []IndexEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e IndexEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Key == "" {
+			continue // torn line; the archive file is the ground truth
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Completed returns the executed-run record per archive key. It reads the
+// index when present (first record per key wins: the first completion is
+// the execution, later duplicates are idempotent re-executions after a
+// crash); when the index file is absent — an archive written before
+// indexes existed — it falls back to scanning runsDir for archive files,
+// yielding entries with the key alone. Errors reading the fallback scan's
+// directory are reported; a missing runsDir is simply an empty archive.
+func Completed(indexPath, runsDir string) (map[string]IndexEntry, error) {
+	entries, err := ReadIndex(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]IndexEntry, len(entries))
+	if _, statErr := os.Stat(indexPath); statErr == nil {
+		// The index exists (possibly empty — a campaign with no
+		// completions yet); trust it rather than scanning.
+		for _, e := range entries {
+			if _, ok := out[e.Key]; !ok {
+				out[e.Key] = e
+			}
+		}
+		return out, nil
+	}
+	dir, err := os.ReadDir(runsDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	for _, d := range dir {
+		name := d.Name()
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || d.IsDir() || !isHexKey(key) {
+			continue
+		}
+		out[key] = IndexEntry{Key: key}
+	}
+	return out, nil
+}
+
+// isHexKey reports whether s looks like a sha256 hex digest — the archive
+// filename pattern; anything else in runs/ (tmp siblings, strays) is not
+// an archive.
+func isHexKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NowUnix is the wall-clock stamp helper index appenders use.
+func NowUnix() float64 { return unixSeconds(time.Now()) }

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func key64(c byte) string { return strings.Repeat(string(c), 64) }
+
+func TestIndexAppendAndRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs", "index.json")
+	want := []IndexEntry{
+		{Key: key64('a'), Run: 0, Scenario: "GT", Owner: "w1", Cache: "miss", WallSeconds: 0.5},
+		{Key: key64('b'), Run: 1, Scenario: "BT", Owner: "w2", Cache: "miss"},
+	}
+	for _, e := range want {
+		if err := AppendIndex(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadIndexMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadIndex(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || got != nil {
+		t.Fatalf("missing index: entries=%v err=%v", got, err)
+	}
+}
+
+// A worker killed mid-append leaves a torn last line; readers must skip
+// it and keep every whole line.
+func TestReadIndexSkipsTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.json")
+	if err := AppendIndex(path, IndexEntry{Key: key64('a'), Owner: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"` + key64('b')[:10]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != key64('a') {
+		t.Fatalf("torn index read = %+v", got)
+	}
+}
+
+// Concurrent appenders interleave whole lines, never bytes.
+func TestIndexConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.json")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := IndexEntry{Key: key64("0123456789abcdef"[i%16]), Run: i, Owner: "w"}
+			if err := AppendIndex(path, e); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := ReadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d entries, want %d", len(got), n)
+	}
+}
+
+func TestCompletedPrefersIndexAndDedupes(t *testing.T) {
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "index.json")
+	runs := filepath.Join(dir, "runs")
+	// Duplicate key: an idempotent re-execution after a crash. The first
+	// record is the execution.
+	for _, e := range []IndexEntry{
+		{Key: key64('a'), Owner: "first"},
+		{Key: key64('a'), Owner: "second"},
+		{Key: key64('b'), Owner: "w2"},
+	} {
+		if err := AppendIndex(idx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Completed(idx, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[key64('a')].Owner != "first" || got[key64('b')].Owner != "w2" {
+		t.Fatalf("completed = %+v", got)
+	}
+}
+
+// Without an index — an archive directory written before indexes existed
+// — Completed degrades to a directory scan of the archives themselves.
+func TestCompletedFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	runs := filepath.Join(dir, "runs")
+	if err := os.MkdirAll(runs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		key64('a') + ".json",
+		key64('b') + ".json",
+		"not-an-archive.txt",
+		key64('c') + ".json.tmp-123", // stray atomic-write sibling
+	} {
+		if err := os.WriteFile(filepath.Join(runs, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Completed(filepath.Join(dir, "index.json"), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("scan fallback found %d archives, want 2: %+v", len(got), got)
+	}
+	for _, k := range []string{key64('a'), key64('b')} {
+		if e, ok := got[k]; !ok || e.Owner != "" {
+			t.Fatalf("scan fallback entry for %s = %+v", k[:8], got[k])
+		}
+	}
+	// An empty-but-present index means "no completions", not "scan".
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Completed(filepath.Join(dir, "index.json"), runs)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty index: %+v err=%v", got, err)
+	}
+}

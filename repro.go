@@ -110,9 +110,18 @@
 //	})
 //	fmt.Println(out.Table)      // aggregated NMI/Q/time grid
 //
-// See `cmd/campaign` for the CLI (-spec, -out, -jobs, -resume, -dry-run),
-// examples/campaign for a complete program, and the README's "Campaigns"
-// section for the spec format, cache layout and resume semantics.
+// Campaigns also scale out: JoinCampaign (or `cmd/campaign -fleet`) runs
+// the process as one worker of a distributed fleet, any number of which
+// share an output directory and partition the grid through per-run lease
+// files — each run executed exactly once by a live worker, crashed
+// workers' claims reclaimed after a TTL, and the final aggregate byte-
+// identical to a single-process run (see internal/fleet and the README's
+// "Distributed campaigns" section).
+//
+// See `cmd/campaign` for the CLI (-spec, -out, -jobs, -resume, -dry-run,
+// -fleet, -owner, -lease-ttl), examples/campaign and examples/fleet for
+// complete programs, and the README's "Campaigns" section for the spec
+// format, cache layout and resume semantics.
 //
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
@@ -310,6 +319,22 @@ func NewCampaign(name string) *CampaignBuilder { return campaign.NewBuilder(name
 // summary.txt next to manifest.json. Failed runs are reported after every
 // other run has finished; re-invoking resumes exactly the missing work.
 func RunCampaign(c *Campaign, opts CampaignOptions) (*CampaignOutcome, error) {
+	return campaign.Execute(c, opts)
+}
+
+// JoinCampaign runs this process as one worker of a distributed fleet:
+// any number of processes (or machines sharing a filesystem) pointed at
+// the same opts.OutDir cooperatively execute the campaign. Each run is
+// claimed by exactly one live worker through a lease file, a crashed
+// worker's claims are reclaimed after opts.LeaseTTL, and whichever
+// workers observe the grid complete finalize the aggregate — byte-
+// identical to a single-process RunCampaign by the bit-identity
+// contract. opts.Owner names this worker (defaults to host-pid); the
+// worker's own view is written to manifests/<owner>.json while the
+// shared manifest.json records every run with the owner that executed
+// it. Equivalent to RunCampaign with opts.Fleet set.
+func JoinCampaign(c *Campaign, opts CampaignOptions) (*CampaignOutcome, error) {
+	opts.Fleet = true
 	return campaign.Execute(c, opts)
 }
 
