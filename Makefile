@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke ci
 
 all: build
 
@@ -94,4 +94,32 @@ fleet-smoke:
 	cmp /tmp/bttomo_fleet/campaign.csv /tmp/bttomo_fleet_ref/campaign.csv
 	@rm -rf /tmp/bttomo_fleet_ref /tmp/bttomo_fleet /tmp/bttomo_fleet_bin
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke bench
+# serve-smoke asserts the query layer end to end: run the smoke grid,
+# start `campaign serve` over the archive, and poll it the way a
+# dashboard or CI gate would. /status counts must match the ledger's
+# exactly-once counts (the grid's 8 unique runs), /marginals/intensity
+# must aggregate every cell, an If-None-Match replay of the ETag must
+# come back 304, and /diff of the archive against itself must report
+# zero regressions.
+serve-smoke:
+	rm -rf /tmp/bttomo_serve /tmp/bttomo_serve_bin
+	$(GO) build -o /tmp/bttomo_serve_bin ./cmd/campaign
+	/tmp/bttomo_serve_bin run -spec testdata/campaigns/grid.json -out /tmp/bttomo_serve -jobs 2
+	test "$$(grep -c '"cache":"miss"' /tmp/bttomo_serve/runs/index.json)" -eq 8
+	/tmp/bttomo_serve_bin serve -out /tmp/bttomo_serve -addr 127.0.0.1:8177 & \
+	pid=$$!; sleep 1; st=0; \
+	curl -sf http://127.0.0.1:8177/status >/tmp/bttomo_serve_status.json || st=1; \
+	grep -q '"executed": 8' /tmp/bttomo_serve_status.json || st=1; \
+	grep -q '"archived": 8' /tmp/bttomo_serve_status.json || st=1; \
+	curl -sf http://127.0.0.1:8177/marginals/intensity >/tmp/bttomo_serve_marg.json || st=1; \
+	grep -q '"axis": "dynamics"' /tmp/bttomo_serve_marg.json || st=1; \
+	grep -q '"cells": 8' /tmp/bttomo_serve_marg.json || st=1; \
+	etag=$$(curl -sfI http://127.0.0.1:8177/status | tr -d '\r' | grep -i '^etag:' | cut -d' ' -f2); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $$etag" http://127.0.0.1:8177/status); \
+	test "$$code" = 304 || st=1; \
+	curl -sf "http://127.0.0.1:8177/diff?base=/tmp/bttomo_serve" >/tmp/bttomo_serve_diff.json || st=1; \
+	grep -q '"regression_count": 0' /tmp/bttomo_serve_diff.json || st=1; \
+	kill $$pid; test $$st -eq 0
+	@rm -rf /tmp/bttomo_serve /tmp/bttomo_serve_bin /tmp/bttomo_serve_status.json /tmp/bttomo_serve_marg.json /tmp/bttomo_serve_diff.json
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke bench

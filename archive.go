@@ -1,0 +1,66 @@
+package repro
+
+// Archive query surface: the typed read path over a campaign output
+// directory (see internal/archive for the full API and its read-path
+// invariants). These entry points replace reaching into runs/<key>.json
+// and runs/index.json by hand — the directory layout is an
+// implementation detail of the campaign executor; the Store is the
+// contract.
+
+import (
+	"repro/internal/archive"
+)
+
+// Archive is a typed, read-only view of one campaign output directory
+// (the -out of RunCampaign / JoinCampaign / `campaign run`). Every
+// query re-reads the directory and tolerates concurrent fleet writers:
+// torn ledger lines are skipped, mid-rename documents read as
+// not-yet-archived, and no query ever double-counts an idempotent
+// re-execution. Beyond the methods re-documented here it offers
+// Runs, Get, Marginals, Stamp and GC — see internal/archive.
+type Archive = archive.Store
+
+// CampaignStatus is the fused live view of a campaign directory —
+// ledger + leases + per-owner manifests — as returned by
+// Archive.Status / ArchiveStatus and served by `campaign serve` at
+// /status.
+type CampaignStatus = archive.Status
+
+// ArchiveDiff is the regression report comparing two archives by
+// content key, as returned by Archive.Diff and `campaign diff`.
+// Zero RegressionCount means every shared measurement reproduced
+// bit-identically.
+type ArchiveDiff = archive.DiffReport
+
+// ArchiveMarginal is one axis's marginal curve over a campaign's
+// completed cells, as returned by Archive.Marginals.
+type ArchiveMarginal = archive.Marginal
+
+// OpenArchive opens the campaign archive rooted at dir. The directory
+// must exist but may be mid-campaign: a Store over a directory a fleet
+// is still writing answers queries about the progress so far.
+func OpenArchive(dir string) (*Archive, error) {
+	return archive.Open(dir)
+}
+
+// ArchiveStatus opens dir and reports its live status in one call —
+// the programmatic equivalent of `campaign status -out dir`.
+func ArchiveStatus(dir string) (*CampaignStatus, error) {
+	st, err := archive.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Status()
+}
+
+// DiffArchives compares the archive at dir against the baseline at
+// base — the programmatic equivalent of `campaign diff -out dir -base
+// base`. Shared content keys must hold byte-identical documents (the
+// bit-identity contract); any divergence is reported as a regression.
+func DiffArchives(dir, base string) (*ArchiveDiff, error) {
+	st, err := archive.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Diff(base)
+}

@@ -1,88 +1,169 @@
-// Command campaign expands a declarative sweep campaign — scenarios
-// crossed with option axes — and executes it against a content-addressed
-// result archive: runs whose key is already archived load instead of
-// recomputing, so re-invoking a killed or extended campaign resumes with
-// zero redone work and a byte-identical aggregate.
+// Command campaign manages declarative sweep campaigns end to end:
+// executing grids against a content-addressed result archive, and
+// querying that archive as a served product.
 //
 // Usage:
 //
-//	campaign -spec grid.json -out runs/grid            # run (or resume) the grid
-//	campaign -spec grid.json -out runs/grid -jobs 8    # shard across 8 workers
-//	campaign -spec grid.json -dry-run                  # print the expanded grid only
-//	campaign -spec grid.json -out runs/grid -resume=false  # force full recomputation
+//	campaign run    -spec grid.json -out runs/grid [-jobs N] [-resume] [-fleet -owner X -lease-ttl D]
+//	campaign run    -spec grid.json -dry-run [-out runs/grid]   # audit the grid (keys + hit/miss)
+//	campaign status -out runs/grid [-json]                      # live fleet progress
+//	campaign serve  -out runs/grid [-addr host:port]            # HTTP query service
+//	campaign diff   -out runs/grid -base runs/prev              # regression report (exit 1 on regressions)
+//	campaign gc     -out runs/grid [-spec grid.json] [-max-age D] [-max-runs N] [-dry-run]
 //
-// Distributed fleets: start the same command with -fleet on any number of
-// processes or machines sharing the output directory, and they partition
-// the grid between them — each run claimed by exactly one live worker via
-// leases/<key>.json, crashed workers' claims reclaimed after -lease-ttl,
-// every completion recorded in the runs/index.json ledger, and the final
-// aggregate byte-identical to a single-process run:
+// The flag-only form of earlier releases (campaign -spec ... -out ...)
+// keeps working as an implicit `run` and prints a deprecation hint.
 //
-//	campaign -spec grid.json -out /shared/grid -fleet -owner box1 &
-//	campaign -spec grid.json -out /shared/grid -fleet -owner box2
+// run executes (or resumes) the grid: runs whose content key is already
+// archived load instead of recomputing, any number of -fleet processes
+// sharing -out partition the grid via leases, and the aggregate is
+// byte-identical however the work was scheduled. With -dry-run it
+// prints each expanded cell's content key and — when -out is given —
+// its hit/miss status against that archive, so a resume can be audited
+// before spending compute.
 //
-// The output directory holds manifest.json (per-run key, cache hit/miss,
-// timing; in fleet mode, the cumulative every-run-exactly-once record),
-// manifest.log (entries streamed as cells finish), runs/<key>.json result
-// archives with their runs/index.json ledger, per-worker manifests under
-// manifests/ in fleet mode, and the aggregate table as campaign.csv and
-// summary.txt.
+// status fuses the runs/index.json ledger, leases/ and per-owner
+// manifests into live progress: how much of the grid is archived, who
+// executed what, what is in flight, which leases went stale.
+//
+// serve exposes the same read path over HTTP (GET /status, /runs,
+// /runs/{key}, /marginals/{axis}, /diff?base=) with ETag/If-None-Match
+// keyed on the ledger, so dashboards and CI can poll cheaply while a
+// fleet is still writing. "/marginals/intensity" is the dynamics axis.
+//
+// diff compares two archives by content key: shared keys must hold
+// byte-identical documents (the bit-identity contract), so any
+// divergence is a regression and the command exits non-zero.
+//
+// gc bounds a long-lived archive: -max-age and -max-runs evict old
+// runs (never leased ones), and with -spec the current expansion's keys
+// are protected while stale-keyVersion archives are swept. The ledger
+// is compacted to match.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro"
+	"repro/internal/archive"
+	"repro/internal/archive/serve"
 )
 
 func main() {
-	var (
-		spec     = flag.String("spec", "", "campaign spec JSON file (required)")
-		out      = flag.String("out", "", "campaign archive directory (required unless -dry-run)")
-		jobs     = flag.Int("jobs", 1, "campaign-level worker pool; >1 forces each run's inner workers to 1 (fan-out at one level only)")
-		resume   = flag.Bool("resume", true, "reuse archived results; false recomputes and rewrites every run (rejected with -fleet: clear the archive instead)")
-		dryRun   = flag.Bool("dry-run", false, "print the expanded run grid and exit without measuring")
-		fleetRun = flag.Bool("fleet", false, "join the fleet sharing -out: claim runs via lease files and cooperate with other -fleet processes")
-		owner    = flag.String("owner", "", "fleet worker id for leases and manifests/ (default host-pid)")
-		leaseTTL = flag.Duration("lease-ttl", time.Minute, "fleet lease staleness horizon; a worker silent this long is presumed crashed and its runs reclaimed")
-	)
-	flag.Parse()
-	if err := run(*spec, *out, *jobs, *resume, *dryRun, *fleetRun, *owner, *leaseTTL); err != nil {
+	args := os.Args[1:]
+	cmd := "run"
+	switch {
+	case len(args) > 0 && !strings.HasPrefix(args[0], "-"):
+		cmd = args[0]
+		args = args[1:]
+	case len(args) > 0:
+		// The pre-subcommand invocation form; keep it working forever,
+		// nudge once per invocation.
+		fmt.Fprintln(os.Stderr, "campaign: note: flag-only invocation is deprecated; use `campaign run ...`")
+	}
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "status":
+		err = cmdStatus(args)
+	case "serve":
+		err = cmdServe(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "gc":
+		err = cmdGC(args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+		return
+	default:
+		err = fmt.Errorf("unknown subcommand %q (have: run, status, serve, diff, gc)", cmd)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath, outDir string, jobs int, resume, dryRun, fleetRun bool, owner string, leaseTTL time.Duration) error {
-	if specPath == "" {
-		return fmt.Errorf("-spec is required")
+func usage(w *os.File) {
+	fmt.Fprintln(w, `campaign manages sweep campaigns against a content-addressed archive.
+
+  campaign run    -spec grid.json -out DIR [-jobs N] [-fleet -owner X]
+  campaign run    -spec grid.json -dry-run [-out DIR]
+  campaign status -out DIR [-json]
+  campaign serve  -out DIR [-addr host:port]
+  campaign diff   -out DIR -base DIR
+  campaign gc     -out DIR [-spec grid.json] [-max-age D] [-max-runs N] [-dry-run]
+
+Run 'campaign <subcommand> -h' for that subcommand's flags.`)
+}
+
+// The shared flag vocabulary: every subcommand that takes one of these
+// flags registers it here, so -out and -spec mean the same thing (and
+// document themselves the same way) across the whole surface.
+func outFlag(fs *flag.FlagSet) *string {
+	return fs.String("out", "", "campaign archive directory (runs/, leases/, manifests/, manifest.log live under it)")
+}
+
+func specFlag(fs *flag.FlagSet, usage string) *string {
+	return fs.String("spec", "", usage)
+}
+
+// openStore opens the archive read path rooted at -out.
+func openStore(out string) (*repro.Archive, error) {
+	if out == "" {
+		return nil, fmt.Errorf("-out is required")
 	}
-	c, err := repro.LoadCampaign(specPath)
+	return repro.OpenArchive(out)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	spec := specFlag(fs, "campaign spec JSON file (required)")
+	out := outFlag(fs)
+	jobs := fs.Int("jobs", 1, "campaign-level worker pool; >1 forces each run's inner workers to 1 (fan-out at one level only)")
+	resume := fs.Bool("resume", true, "reuse archived results; false recomputes and rewrites every run (rejected with -fleet: clear the archive instead)")
+	dryRun := fs.Bool("dry-run", false, "print the expanded run grid (with hit/miss against -out, when given) and exit without measuring")
+	fleetRun := fs.Bool("fleet", false, "join the fleet sharing -out: claim runs via lease files and cooperate with other -fleet processes")
+	owner := fs.String("owner", "", "fleet worker id for leases and manifests/ (default host-pid)")
+	leaseTTL := fs.Duration("lease-ttl", time.Minute, "fleet lease staleness horizon; a worker silent this long is presumed crashed and its runs reclaimed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" {
+		return fmt.Errorf("run: -spec is required")
+	}
+	c, err := repro.LoadCampaign(*spec)
 	if err != nil {
 		return err
 	}
-	if dryRun {
-		return printGrid(c)
+	if *dryRun {
+		return printGrid(c, *out)
 	}
-	if outDir == "" {
-		return fmt.Errorf("-out is required (or use -dry-run)")
+	if *out == "" {
+		return fmt.Errorf("run: -out is required (or use -dry-run)")
 	}
 	fmt.Printf("campaign %s: %d scenarios\n", c.Name, len(c.Scenarios))
 	opts := repro.CampaignOptions{
-		OutDir:   outDir,
-		Jobs:     jobs,
-		Resume:   resume,
+		OutDir:   *out,
+		Jobs:     *jobs,
+		Resume:   *resume,
 		Log:      os.Stdout,
-		Fleet:    fleetRun,
-		Owner:    owner,
-		LeaseTTL: leaseTTL,
+		Fleet:    *fleetRun,
+		Owner:    *owner,
+		LeaseTTL: *leaseTTL,
 	}
 	var res *repro.CampaignOutcome
-	if fleetRun {
+	if *fleetRun {
 		res, err = repro.JoinCampaign(c, opts)
 	} else {
 		res, err = repro.RunCampaign(c, opts)
@@ -91,7 +172,7 @@ func run(specPath, outDir string, jobs int, resume, dryRun, fleetRun bool, owner
 		return err
 	}
 	m := res.Manifest
-	if fleetRun {
+	if *fleetRun {
 		fmt.Printf("\nfleet worker %s: ", m.Owner)
 	} else {
 		fmt.Printf("\n")
@@ -106,17 +187,221 @@ func run(specPath, outDir string, jobs int, resume, dryRun, fleetRun bool, owner
 }
 
 // printGrid lists the expanded run grid without executing it — the
-// sanity check before committing hours of compute to a sweep.
-func printGrid(c *repro.Campaign) error {
+// sanity check before committing hours of compute to a sweep. With an
+// archive directory it additionally probes each cell's content key
+// against the archive, so an operator can audit exactly what a resume
+// would reuse and what it would compute.
+func printGrid(c *repro.Campaign, out string) error {
 	runs, err := c.Expand()
 	if err != nil {
 		return err
 	}
+	var store *repro.Archive
+	if out != "" {
+		if store, err = repro.OpenArchive(out); err != nil {
+			if !os.IsNotExist(err) {
+				return err
+			}
+			store = nil // no archive yet: every cell is a miss
+		}
+	}
 	fmt.Printf("campaign %s expands to %d runs:\n", c.Name, len(runs))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "RUN\tSCENARIO\tCONFIG\tKEY")
-	for _, r := range runs {
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", r.Index, r.Scenario, r.Config(), r.Key[:12])
+	header := "RUN\tSCENARIO\tCONFIG\tKEY"
+	if out != "" {
+		header += "\tCACHE"
 	}
-	return tw.Flush()
+	fmt.Fprintln(tw, header)
+	hits := 0
+	for _, r := range runs {
+		line := fmt.Sprintf("%d\t%s\t%s\t%s", r.Index, r.Scenario, r.Config(), r.Key)
+		if out != "" {
+			cache := "miss"
+			if store != nil {
+				if d, err := store.Get(r.Key); err == nil && d.Doc != nil {
+					cache = "hit"
+					hits++
+				}
+			}
+			line += "\t" + cache
+		}
+		fmt.Fprintln(tw, line)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("%d of %d runs archived in %s (%d to compute)\n", hits, len(runs), out, len(runs)-hits)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
+	out := outFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw status document instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*out)
+	if err != nil {
+		return err
+	}
+	st, err := store.Status()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return writeJSON(os.Stdout, st)
+	}
+	name := st.Campaign
+	if name == "" {
+		name = "(not finalized)"
+	}
+	fmt.Printf("archive %s\ncampaign: %s\n", st.Dir, name)
+	if st.GridRuns > 0 {
+		fmt.Printf("grid: %d runs, %d archived\n", st.GridRuns, st.Archived)
+	} else {
+		fmt.Printf("archived: %d runs\n", st.Archived)
+	}
+	fmt.Printf("executed: %d (ledger, exactly-once; %d ledger lines)\n", st.Executed, st.LedgerLines)
+	fmt.Printf("in flight: %d leases (%d stale)\nfinalized: %v\n", st.InFlight, st.StaleLeases, st.Finalized)
+	if len(st.Owners) > 0 {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "OWNER\tEXECUTED\tWALL\tMANIFEST")
+		for _, o := range st.Owners {
+			man := "-"
+			if o.Manifest != nil {
+				man = fmt.Sprintf("%d runs: %d hit / %d miss / %d dup / %d failed",
+					o.Manifest.Runs, o.Manifest.Hits, o.Manifest.Misses, o.Manifest.Dups, o.Manifest.Failures)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.2fs\t%s\n", o.Owner, o.Executed, o.WallSeconds, man)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, l := range st.Leases {
+		state := "live"
+		if l.Stale {
+			state = "STALE"
+		}
+		fmt.Printf("lease %s… held by %s (epoch %d, %s)\n", l.Key[:12], l.Owner, l.Epoch, state)
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("campaign serve", flag.ExitOnError)
+	out := outFlag(fs)
+	addr := fs.String("addr", "127.0.0.1:8177", "listen address (host:port; :0 picks a free port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*out)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on http://%s (endpoints: /status /runs /runs/{key} /marginals/{axis} /diff?base=)\n",
+		store.Dir(), l.Addr())
+	return http.Serve(l, serve.Handler(store))
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("campaign diff", flag.ExitOnError)
+	out := outFlag(fs)
+	base := fs.String("base", "", "baseline archive directory to compare against (required)")
+	asJSON := fs.Bool("json", false, "print the raw diff document instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *base == "" {
+		return fmt.Errorf("diff: -base is required")
+	}
+	store, err := openStore(*out)
+	if err != nil {
+		return err
+	}
+	rep, err := store.Diff(*base)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("diff %s vs base %s\n", rep.Dir, rep.Base)
+		fmt.Printf("common: %d  only here: %d  only base: %d  unreadable: %d\n",
+			rep.Common, rep.OnlyHere, rep.OnlyBase, rep.Unreadable)
+		for _, r := range rep.Regressions {
+			fmt.Printf("REGRESSION %s…: %s here=%s base=%s\n", r.Key[:12], r.Field, r.Here, r.Base)
+		}
+		fmt.Printf("regressions: %d\n", rep.RegressionCount)
+	}
+	if rep.RegressionCount > 0 {
+		return fmt.Errorf("%d shared keys diverged — the pipeline's behaviour changed between the archives", rep.RegressionCount)
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("campaign gc", flag.ExitOnError)
+	out := outFlag(fs)
+	spec := specFlag(fs, "campaign spec whose current expansion is protected; archives outside it are swept as stale-keyVersion")
+	maxAge := fs.Duration("max-age", 0, "evict archives older than this (0 = no age limit)")
+	maxRuns := fs.Int("max-runs", 0, "cap the archive count, evicting oldest first (0 = no cap)")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without removing anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*out)
+	if err != nil {
+		return err
+	}
+	opt := archive.GCOptions{MaxAge: *maxAge, MaxRuns: *maxRuns, DryRun: *dryRun}
+	if *spec != "" {
+		c, err := repro.LoadCampaign(*spec)
+		if err != nil {
+			return err
+		}
+		runs, err := c.Expand()
+		if err != nil {
+			return err
+		}
+		opt.Current = make(map[string]bool, len(runs))
+		for _, r := range runs {
+			opt.Current[r.Key] = true
+		}
+	}
+	rep, err := store.GC(opt)
+	if err != nil {
+		return err
+	}
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
+	}
+	fmt.Printf("gc %s: scanned %d archives, %s %d (%d stale-version, %d expired, %d evicted), kept %d (%d protected), swept %d strays\n",
+		store.Dir(), rep.Scanned, verb, rep.Removed,
+		len(rep.StaleVersion), len(rep.Expired), len(rep.Evicted), rep.Kept, rep.Protected, rep.Strays)
+	if rep.LedgerCompacted {
+		fmt.Println("ledger compacted")
+	}
+	keys := append(append(append([]string(nil), rep.StaleVersion...), rep.Expired...), rep.Evicted...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s %s\n", verb, k)
+	}
+	return nil
+}
+
+func writeJSON(w *os.File, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

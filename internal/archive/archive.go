@@ -1,0 +1,224 @@
+// Package archive is the read path over a campaign output directory —
+// the query layer that turns the content-addressed result cache from a
+// side effect of execution into a served product.
+//
+// PRs 4–5 made runs/<key>.json archives, the runs/index.json execution
+// ledger, leases/ and per-owner manifests/ the system of record for
+// every measurement a campaign produces; until now the only consumers
+// were the executors themselves. A Store gives everything else —
+// dashboards, CI regression gates, fleet operators, the HTTP service in
+// archive/serve — a typed API over the same directory: enumerate runs,
+// fetch one archived document, fuse ledger + leases + manifests into
+// live fleet progress, compute per-axis marginal curves, diff two
+// archives for regressions, and govern the cache's size (GC).
+//
+// # Read-path invariants
+//
+// The Store is strictly read-only (GC, the one mutating entry point, is
+// an explicit maintenance operation) and every query tolerates
+// concurrent writers, because a live fleet is the normal case, not an
+// edge case:
+//
+//   - The ledger is append-only; readers skip torn or garbage lines
+//     (fleet.ReadIndex), and the first record per key wins, so a query
+//     can never double-count a run however many idempotent
+//     re-executions the ledger recorded.
+//   - Archives are published by atomic rename, so a document either
+//     loads whole or is skipped as in-flight; *.tmp-* siblings are
+//     never archives (fleet.IsArchiveKey filters them).
+//   - Leases and manifests are read best-effort: one mid-publication
+//     file degrades that entry, never the query.
+//   - No state is cached between calls — every query re-reads the
+//     directory, so a Store opened before a writer started still
+//     observes its progress, and Stamp() gives pollers a cheap
+//     change detector (the ETag the HTTP service serves).
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/persist"
+)
+
+// Store is a typed, read-only view of one campaign output directory.
+// Methods are safe for concurrent use and against concurrent writers;
+// each call reads the directory fresh.
+type Store struct {
+	dir string
+}
+
+// Open opens the campaign archive rooted at dir. The directory must
+// exist, but may be empty or mid-campaign: a Store over a directory a
+// fleet is still writing answers queries about the progress so far.
+func Open(dir string) (*Store, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("archive: %s is not a directory", dir)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the archive directory this store reads.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) runsDir() string      { return filepath.Join(s.dir, "runs") }
+func (s *Store) indexPath() string    { return filepath.Join(s.dir, "runs", "index.json") }
+func (s *Store) leasesDir() string    { return filepath.Join(s.dir, "leases") }
+func (s *Store) manifestsDir() string { return filepath.Join(s.dir, "manifests") }
+func (s *Store) logPath() string      { return filepath.Join(s.dir, "manifest.log") }
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "manifest.json") }
+func (s *Store) csvPath() string      { return filepath.Join(s.dir, "campaign.csv") }
+
+func (s *Store) archivePath(key string) string {
+	return filepath.Join(s.runsDir(), key+".json")
+}
+
+// RunInfo is one archived (or ledger-recorded) run as the read path
+// sees it: the union of the ledger's attribution record and the archive
+// file's presence. A run can appear with Archived=false — the ledger
+// line landed but the archive was GC'd or is mid-rename — and with an
+// empty Owner — an archive that predates the ledger.
+type RunInfo struct {
+	// Key is the run's content address (the archive is runs/<key>.json).
+	Key string `json:"key"`
+	// Run and Scenario echo the ledger record of the executing cell;
+	// Run is -1 when the run is known only from the directory scan.
+	Run      int    `json:"run"`
+	Scenario string `json:"scenario,omitempty"`
+	// Owner is the worker the ledger attributes the execution to.
+	Owner string `json:"owner,omitempty"`
+	// WallSeconds and CompletedUnix are the ledger's execution record.
+	WallSeconds   float64 `json:"wall_seconds,omitempty"`
+	CompletedUnix float64 `json:"completed_unix,omitempty"`
+	// Archived reports whether runs/<key>.json exists right now; Bytes
+	// is its size when it does.
+	Archived bool  `json:"archived"`
+	Bytes    int64 `json:"bytes,omitempty"`
+}
+
+// Runs enumerates the archive: every run the ledger has recorded plus
+// every archive file on disk, exactly once per key, in ledger append
+// order with scan-only keys (archives without a ledger line) following
+// sorted by key. It never loads document bodies — listing a million-run
+// archive costs one ledger read and one directory scan.
+func (s *Store) Runs() ([]RunInfo, error) {
+	entries, err := fleet.ReadIndex(s.indexPath())
+	if err != nil {
+		return nil, err
+	}
+	var runs []RunInfo
+	seen := make(map[string]int, len(entries))
+	for _, e := range entries {
+		if _, ok := seen[e.Key]; ok {
+			continue // idempotent re-execution after a crash; first wins
+		}
+		seen[e.Key] = len(runs)
+		runs = append(runs, RunInfo{
+			Key:           e.Key,
+			Run:           e.Run,
+			Scenario:      e.Scenario,
+			Owner:         e.Owner,
+			WallSeconds:   e.WallSeconds,
+			CompletedUnix: e.CompletedUnix,
+		})
+	}
+	dir, err := os.ReadDir(s.runsDir())
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	var scanOnly []RunInfo
+	for _, d := range dir {
+		key, ok := strings.CutSuffix(d.Name(), ".json")
+		if !ok || d.IsDir() || !fleet.IsArchiveKey(key) {
+			continue
+		}
+		var size int64
+		if fi, err := d.Info(); err == nil {
+			size = fi.Size()
+		}
+		if i, ok := seen[key]; ok {
+			runs[i].Archived = true
+			runs[i].Bytes = size
+			continue
+		}
+		scanOnly = append(scanOnly, RunInfo{Key: key, Run: -1, Archived: true, Bytes: size})
+	}
+	sort.Slice(scanOnly, func(i, j int) bool { return scanOnly[i].Key < scanOnly[j].Key })
+	return append(runs, scanOnly...), nil
+}
+
+// RunDetail is one run in full: its listing record plus the archived
+// result document.
+type RunDetail struct {
+	RunInfo
+	// Doc is the archived result; nil when the archive file is absent
+	// (the ledger knows the run but the document was GC'd).
+	Doc *persist.ResultDoc `json:"doc,omitempty"`
+}
+
+// Get fetches one run by content key: the ledger's attribution record
+// (when present) and the archived document (when present). A key that
+// is neither ledgered nor archived is an error; so is a key that is not
+// a content address at all (which also rejects path traversal through
+// user-supplied keys).
+func (s *Store) Get(key string) (*RunDetail, error) {
+	if !fleet.IsArchiveKey(key) {
+		return nil, fmt.Errorf("archive: %q is not a run key (want a sha256 hex digest)", key)
+	}
+	d := &RunDetail{RunInfo: RunInfo{Key: key, Run: -1}}
+	entries, err := fleet.ReadIndex(s.indexPath())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.Key == key {
+			d.Run = e.Run
+			d.Scenario = e.Scenario
+			d.Owner = e.Owner
+			d.WallSeconds = e.WallSeconds
+			d.CompletedUnix = e.CompletedUnix
+			break // first record per key wins
+		}
+	}
+	path := s.archivePath(key)
+	if fi, err := os.Stat(path); err == nil {
+		if doc, err := persist.LoadResult(path); err == nil {
+			d.Archived = true
+			d.Bytes = fi.Size()
+			d.Doc = doc
+		}
+		// A document present but unreadable is mid-rename or torn: report
+		// the run as not (yet) archived rather than failing the query.
+	}
+	if d.Run < 0 && !d.Archived {
+		return nil, fmt.Errorf("archive: run %s: %w", key, os.ErrNotExist)
+	}
+	return d, nil
+}
+
+// Stamp is the archive's cheap change detector: a string that changes
+// whenever the ledger, the streamed manifest, the cumulative manifest
+// or the finalized aggregate change, and is stable otherwise. The HTTP
+// service keys its ETag on it, so pollers of an idle (or
+// between-completions) archive pay a handful of stats, not a re-read.
+// Lease heartbeats are deliberately excluded: they refresh every TTL/3
+// without changing any completed result.
+func (s *Store) Stamp() string {
+	part := func(path string) string {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%d.%d", fi.Size(), fi.ModTime().UnixNano())
+	}
+	return fmt.Sprintf("%s;%s;%s;%s",
+		part(s.indexPath()), part(s.logPath()), part(s.manifestPath()), part(s.csvPath()))
+}

@@ -1,0 +1,192 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// keyed returns the archive's keys in ledger order.
+func keyed(t *testing.T, st *Store) []string {
+	t.Helper()
+	runs, err := st.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(runs))
+	for _, r := range runs {
+		if r.Archived {
+			keys = append(keys, r.Key)
+		}
+	}
+	return keys
+}
+
+// A zero-options GC is a no-op apart from stray cleanup: nothing has a
+// reason to go.
+func TestGCWithoutLimitsKeepsEverything(t *testing.T) {
+	_, _, st := writtenArchive(t)
+	rep, err := st.GC(GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 4 || rep.Removed != 0 || rep.Kept != 4 {
+		t.Fatalf("no-limit GC removed something: %+v", rep)
+	}
+}
+
+// The acceptance invariant: GC never removes a leased run, nor a
+// current-keyVersion run the ledger references, whatever the limits.
+func TestGCNeverRemovesLeasedOrCurrentRuns(t *testing.T) {
+	dir, out, st := writtenArchive(t)
+	keys := keyed(t, st)
+
+	// Lease one run; declare two (including the leased one) current.
+	tr, err := fleet.New(filepath.Join(dir, "leases"), "holder", fleet.DefaultTTL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if ok, _, err := tr.Claim(keys[0]); err != nil || !ok {
+		t.Fatalf("claim: %v %v", ok, err)
+	}
+	current := map[string]bool{keys[0]: true, keys[1]: true}
+
+	// The harshest possible policy: everything too old, capacity zero.
+	rep, err := st.GC(GCOptions{MaxAge: time.Nanosecond, MaxRuns: 1, Current: current})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Protected != 2 {
+		t.Fatalf("want leased + current-ledgered protected, got %+v", rep)
+	}
+	for _, key := range []string{keys[0], keys[1]} {
+		if _, err := os.Stat(filepath.Join(dir, "runs", key+".json")); err != nil {
+			t.Fatalf("protected run %s removed: %v", key, err)
+		}
+	}
+	// The two non-current runs are stale-version and must be gone, from
+	// disk and from the ledger.
+	if rep.Removed != 2 || len(rep.StaleVersion) != 2 {
+		t.Fatalf("stale-version sweep wrong: %+v", rep)
+	}
+	for _, key := range rep.StaleVersion {
+		if _, err := os.Stat(filepath.Join(dir, "runs", key+".json")); !os.IsNotExist(err) {
+			t.Fatalf("stale-version run %s survived: %v", key, err)
+		}
+	}
+	if !rep.LedgerCompacted {
+		t.Fatal("ledger not compacted after removals")
+	}
+	entries, err := fleet.ReadIndex(filepath.Join(dir, "runs", "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("compacted ledger has %d lines, want 2: %+v", len(entries), entries)
+	}
+	for _, e := range entries {
+		if !current[e.Key] {
+			t.Fatalf("removed key %s still ledgered", e.Key)
+		}
+	}
+	_ = out
+}
+
+// MaxRuns evicts oldest-first among governed runs only.
+func TestGCMaxRunsEvictsOldestFirst(t *testing.T) {
+	dir, _, st := writtenArchive(t)
+	keys := keyed(t, st)
+	// Make the first run unambiguously the oldest via its ledger stamp:
+	// rewrite the ledger with synthetic completion times.
+	idx := filepath.Join(dir, "runs", "index.json")
+	if err := os.Remove(idx); err != nil {
+		t.Fatal(err)
+	}
+	base := float64(time.Now().Add(-time.Hour).Unix())
+	for i, key := range keys {
+		if err := fleet.AppendIndex(idx, fleet.IndexEntry{
+			Key: key, Run: i, Owner: "w", CompletedUnix: base + float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := st.GC(GCOptions{MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 2 || len(rep.Evicted) != 2 {
+		t.Fatalf("eviction wrong: %+v", rep)
+	}
+	got := map[string]bool{rep.Evicted[0]: true, rep.Evicted[1]: true}
+	if !got[keys[0]] || !got[keys[1]] {
+		t.Fatalf("evicted %v, want the two oldest %v", rep.Evicted, keys[:2])
+	}
+}
+
+// MaxAge expires old runs; DryRun only reports.
+func TestGCMaxAgeAndDryRun(t *testing.T) {
+	dir, _, st := writtenArchive(t)
+	keys := keyed(t, st)
+
+	rep, err := st.GC(GCOptions{MaxAge: time.Nanosecond, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 4 || len(rep.Expired) != 4 {
+		t.Fatalf("dry-run accounting wrong: %+v", rep)
+	}
+	if rep.LedgerCompacted {
+		t.Fatal("dry run claimed to compact the ledger")
+	}
+	for _, key := range keys {
+		if _, err := os.Stat(filepath.Join(dir, "runs", key+".json")); err != nil {
+			t.Fatalf("dry run removed %s: %v", key, err)
+		}
+	}
+
+	rep, err = st.GC(GCOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed != 0 {
+		t.Fatalf("young runs expired: %+v", rep)
+	}
+}
+
+// Abandoned temp files are swept once stale; young ones (a writer in
+// flight right now) and the ledger are left alone.
+func TestGCSweepsStaleStrays(t *testing.T) {
+	dir, _, st := writtenArchive(t)
+	old := filepath.Join(dir, "runs", strings.Repeat("aa", 32)+".json.tmp-123")
+	fresh := filepath.Join(dir, "runs", strings.Repeat("bb", 32)+".json.tmp-456")
+	for _, p := range []string{old, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(old, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.GC(GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strays != 1 {
+		t.Fatalf("stray sweep wrong: %+v", rep)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("stale stray survived")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("in-flight temp file swept")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "runs", "index.json")); err != nil {
+		t.Fatal("ledger swept as a stray")
+	}
+}

@@ -1,0 +1,134 @@
+// Package serve exposes a campaign archive's read path over HTTP — the
+// query service dashboards, CI regression gates and fleet operators
+// poll while (and after) a fleet writes the directory.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/            endpoint index
+//	/status      live fleet progress (ledger + leases + manifests)
+//	/runs        run listing (ledger ∪ directory scan, exactly once)
+//	/runs/{key}  one run's ledger record and archived document
+//	/marginals/{axis}  per-axis NMI/Q/timing curve ("dynamics",
+//	             "iterations", ...; "intensity" aliases "dynamics")
+//	/diff?base=DIR     regression report against another archive
+//
+// Every response carries an ETag derived from the archive's Stamp() —
+// the sizes and mtimes of the append-only ledger and manifests, which
+// change exactly when archive state changes. A poller that replays the
+// ETag via If-None-Match gets 304 Not Modified until a new completion
+// lands, so heavy read traffic against an idle archive costs a handful
+// of stat calls per poll, no document reads, and responses are
+// byte-stable between state changes. Lease heartbeats deliberately do
+// not enter the ETag: they refresh every TTL/3 without changing any
+// completed result.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/archive"
+)
+
+// Handler returns the HTTP handler serving the store's read path.
+func Handler(st *archive.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, r, st.Stamp(), map[string]any{
+			"archive":   st.Dir(),
+			"endpoints": []string{"/status", "/runs", "/runs/{key}", "/marginals/{axis}", "/diff?base=DIR"},
+			"axes":      archive.MarginalAxes(),
+		})
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		stamp := st.Stamp()
+		s, err := st.Status()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		respond(w, r, stamp, s)
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		stamp := st.Stamp()
+		runs, err := st.Runs()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		respond(w, r, stamp, map[string]any{"runs": len(runs), "entries": runs})
+	})
+	mux.HandleFunc("GET /runs/{key}", func(w http.ResponseWriter, r *http.Request) {
+		stamp := st.Stamp()
+		detail, err := st.Get(r.PathValue("key"))
+		if err != nil {
+			status := http.StatusNotFound
+			if strings.Contains(err.Error(), "is not a run key") {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		respond(w, r, stamp, detail)
+	})
+	mux.HandleFunc("GET /marginals/{axis}", func(w http.ResponseWriter, r *http.Request) {
+		stamp := st.Stamp()
+		m, err := st.Marginals(r.PathValue("axis"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		respond(w, r, stamp, m)
+	})
+	mux.HandleFunc("GET /diff", func(w http.ResponseWriter, r *http.Request) {
+		base := r.URL.Query().Get("base")
+		if base == "" {
+			http.Error(w, "diff: query parameter base=DIR is required", http.StatusBadRequest)
+			return
+		}
+		baseStore, err := archive.Open(base)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// The diff depends on both archives, so both stamps key the ETag.
+		stamp := st.Stamp() + "|" + baseStore.Stamp()
+		rep, err := st.Diff(base)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		respond(w, r, stamp, rep)
+	})
+	return mux
+}
+
+// respond writes v as indented JSON with the stamp-derived ETag,
+// honouring If-None-Match so pollers of an unchanged archive get a
+// bodyless 304.
+func respond(w http.ResponseWriter, r *http.Request, stamp string, v any) {
+	etag := fmt.Sprintf("%q", stamp)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, cand := range strings.Split(match, ",") {
+			if strings.TrimSpace(cand) == etag || strings.TrimSpace(cand) == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

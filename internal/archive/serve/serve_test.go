@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/campaign"
+	"repro/internal/fleet"
+	"repro/internal/persist"
+	"repro/internal/scenario"
+)
+
+// servedArchive executes a four-cell campaign and returns its directory
+// plus a handler over it.
+func servedArchive(t *testing.T) (string, http.Handler) {
+	t.Helper()
+	specPath := filepath.Join(t.TempDir(), "tiny.json")
+	if err := persist.SaveSpec(specPath, scenario.NSites(2, 3, 890, 100)); err != nil {
+		t.Fatal(err)
+	}
+	spec := campaign.NewBuilder("serve-test").
+		Scenario("2x2").
+		ScenarioFile(specPath).
+		Iterations(2).
+		Seeds(1, 2).
+		Scales(0.02).
+		MustSpec()
+	dir := filepath.Join(t.TempDir(), "camp")
+	if _, err := campaign.Execute(spec, campaign.ExecOptions{OutDir: dir, Jobs: 2, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, Handler(st)
+}
+
+// get performs one request and decodes the JSON body into out when the
+// response carries one.
+func get(t *testing.T, h http.Handler, url string, header map[string]string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, h := servedArchive(t)
+	var st archive.Status
+	rec := get(t, h, "/status", nil, &st)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/status: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("ETag") == "" {
+		t.Fatal("/status has no ETag")
+	}
+	if st.Executed != 4 || st.Archived != 4 || !st.Finalized {
+		t.Fatalf("status body wrong: %+v", st)
+	}
+}
+
+// The polling contract: replaying the ETag yields a bodyless 304 while
+// nothing changed; successive unconditional reads are byte-stable; a
+// ledger append invalidates the tag.
+func TestETagPolling(t *testing.T) {
+	dir, h := servedArchive(t)
+	rec1 := get(t, h, "/status", nil, nil)
+	etag := rec1.Header().Get("ETag")
+
+	rec2 := get(t, h, "/status", nil, nil)
+	if !bytes.Equal(rec1.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Fatal("repeated polls of an idle archive differ")
+	}
+	if rec2.Header().Get("ETag") != etag {
+		t.Fatal("ETag drifted without writes")
+	}
+
+	rec3 := get(t, h, "/status", map[string]string{"If-None-Match": etag}, nil)
+	if rec3.Code != http.StatusNotModified || rec3.Body.Len() != 0 {
+		t.Fatalf("If-None-Match hit: code %d, %d body bytes", rec3.Code, rec3.Body.Len())
+	}
+
+	if err := fleet.AppendIndex(filepath.Join(dir, "runs", "index.json"),
+		fleet.IndexEntry{Key: strings.Repeat("ab", 32), Run: 9, Owner: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	rec4 := get(t, h, "/status", map[string]string{"If-None-Match": etag}, nil)
+	if rec4.Code != http.StatusOK {
+		t.Fatalf("stale ETag still matched after a ledger append: %d", rec4.Code)
+	}
+	if rec4.Header().Get("ETag") == etag {
+		t.Fatal("ETag unchanged after a ledger append")
+	}
+}
+
+func TestRunsEndpoints(t *testing.T) {
+	_, h := servedArchive(t)
+	var listing struct {
+		Runs    int               `json:"runs"`
+		Entries []archive.RunInfo `json:"entries"`
+	}
+	if rec := get(t, h, "/runs", nil, &listing); rec.Code != http.StatusOK {
+		t.Fatalf("/runs: %d", rec.Code)
+	}
+	if listing.Runs != 4 || len(listing.Entries) != 4 {
+		t.Fatalf("listing wrong: %+v", listing)
+	}
+
+	var detail archive.RunDetail
+	key := listing.Entries[0].Key
+	if rec := get(t, h, "/runs/"+key, nil, &detail); rec.Code != http.StatusOK {
+		t.Fatalf("/runs/{key}: %d", rec.Code)
+	}
+	if detail.Key != key || detail.Doc == nil {
+		t.Fatalf("detail wrong: %+v", detail)
+	}
+
+	if rec := get(t, h, "/runs/"+strings.Repeat("00", 32), nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: want 404, got %d", rec.Code)
+	}
+	if rec := get(t, h, "/runs/not-a-key", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed key: want 400, got %d", rec.Code)
+	}
+}
+
+func TestMarginalsEndpoint(t *testing.T) {
+	_, h := servedArchive(t)
+	var m archive.Marginal
+	if rec := get(t, h, "/marginals/intensity", nil, &m); rec.Code != http.StatusOK {
+		t.Fatalf("/marginals/intensity: %d", rec.Code)
+	}
+	if m.Axis != "dynamics" || m.Cells != 4 {
+		t.Fatalf("marginal wrong: %+v", m)
+	}
+	if rec := get(t, h, "/marginals/flavour", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown axis: want 400, got %d", rec.Code)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	dir, h := servedArchive(t)
+	var rep archive.DiffReport
+	if rec := get(t, h, "/diff?base="+dir, nil, &rep); rec.Code != http.StatusOK {
+		t.Fatalf("/diff: %d", rec.Code)
+	}
+	if rep.Common != 4 || rep.RegressionCount != 0 {
+		t.Fatalf("self-diff not clean: %+v", rep)
+	}
+	if rec := get(t, h, "/diff", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing base: want 400, got %d", rec.Code)
+	}
+	if rec := get(t, h, "/diff?base="+filepath.Join(dir, "absent"), nil, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad base: want 400, got %d", rec.Code)
+	}
+}
+
+func TestIndexEndpoint(t *testing.T) {
+	_, h := servedArchive(t)
+	var idx struct {
+		Endpoints []string `json:"endpoints"`
+		Axes      []string `json:"axes"`
+	}
+	if rec := get(t, h, "/", nil, &idx); rec.Code != http.StatusOK {
+		t.Fatalf("/: %d", rec.Code)
+	}
+	if len(idx.Endpoints) == 0 || len(idx.Axes) == 0 {
+		t.Fatalf("index empty: %+v", idx)
+	}
+	if rec := get(t, h, "/nonsense", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path: want 404, got %d", rec.Code)
+	}
+}

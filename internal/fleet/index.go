@@ -139,7 +139,7 @@ func Completed(indexPath, runsDir string) (map[string]IndexEntry, error) {
 	for _, d := range dir {
 		name := d.Name()
 		key, ok := strings.CutSuffix(name, ".json")
-		if !ok || d.IsDir() || !isHexKey(key) {
+		if !ok || d.IsDir() || !IsArchiveKey(key) {
 			continue
 		}
 		out[key] = IndexEntry{Key: key}
@@ -147,10 +147,11 @@ func Completed(indexPath, runsDir string) (map[string]IndexEntry, error) {
 	return out, nil
 }
 
-// isHexKey reports whether s looks like a sha256 hex digest — the archive
-// filename pattern; anything else in runs/ (tmp siblings, strays) is not
-// an archive.
-func isHexKey(s string) bool {
+// IsArchiveKey reports whether s looks like a sha256 hex digest — the
+// archive filename pattern; anything else in runs/ (tmp siblings, strays)
+// is not an archive. Query layers use it both to filter directory scans
+// and to reject path-traversal attempts in user-supplied keys.
+func IsArchiveKey(s string) bool {
 	if len(s) != 64 {
 		return false
 	}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Lease is the read-side view of one leases/<key>.json document — what a
+// status query (as opposed to a claiming worker) needs to know about an
+// in-flight run. Fields mirror the lease document; timestamps stay raw
+// Unix seconds so that renderings of the same lease state are
+// byte-identical regardless of when they are produced.
+type Lease struct {
+	// Key is the claimed run's content address.
+	Key string `json:"key"`
+	// Owner is the worker holding the claim.
+	Owner string `json:"owner"`
+	// Epoch counts reclamations of the key (1 = first claim).
+	Epoch int `json:"epoch"`
+	// AcquiredUnix and HeartbeatUnix are the claim and last-refresh
+	// times; TTLSeconds is the holder's staleness promise.
+	AcquiredUnix  float64 `json:"acquired_unix"`
+	HeartbeatUnix float64 `json:"heartbeat_unix"`
+	TTLSeconds    float64 `json:"ttl_seconds"`
+}
+
+// StaleAt reports whether the lease's holder has broken its heartbeat
+// promise as of now — the same judgement Claim uses before reclaiming.
+func (l Lease) StaleAt(now time.Time) bool {
+	ttl := time.Duration(l.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return now.Sub(unixTime(l.HeartbeatUnix)) > ttl
+}
+
+// Leases lists every readable lease under dir, sorted by key. It is the
+// read path's view of in-flight work and tolerates live writers: a lease
+// mid-publication (present but not yet decodable) or removed between the
+// directory listing and the read is skipped, never an error. A missing
+// directory is an empty fleet.
+func Leases(dir string) ([]Lease, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var leases []Lease
+	for _, e := range entries {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || e.IsDir() || !IsArchiveKey(key) {
+			continue
+		}
+		doc, err := readLease(filepath.Join(dir, e.Name()))
+		if err != nil || doc.Owner == "" {
+			continue // mid-publication, torn, or already released
+		}
+		leases = append(leases, Lease{
+			Key:           key,
+			Owner:         doc.Owner,
+			Epoch:         doc.Epoch,
+			AcquiredUnix:  doc.AcquiredUnix,
+			HeartbeatUnix: doc.HeartbeatUnix,
+			TTLSeconds:    doc.TTLSeconds,
+		})
+	}
+	sort.Slice(leases, func(i, j int) bool { return leases[i].Key < leases[j].Key })
+	return leases, nil
+}

@@ -37,7 +37,7 @@
 // replica; per-iteration counts merge in iteration order, making the
 // result bit-identical for every worker count:
 //
-//	opts := repro.ParallelOptions(4) // DefaultOptions + Workers=4
+//	opts := repro.DefaultOptions().WithWorkers(4)
 //	res, err := repro.Run(dataset, opts)
 //
 // # Custom scenarios
@@ -118,10 +118,16 @@
 // identical to a single-process run (see internal/fleet and the README's
 // "Distributed campaigns" section).
 //
-// See `cmd/campaign` for the CLI (-spec, -out, -jobs, -resume, -dry-run,
-// -fleet, -owner, -lease-ttl), examples/campaign and examples/fleet for
-// complete programs, and the README's "Campaigns" section for the spec
-// format, cache layout and resume semantics.
+// A finished (or in-flight) campaign directory is queryable as a typed
+// archive: OpenArchive returns a read-only Store over it, ArchiveStatus
+// fuses ledger + leases + manifests into live fleet progress, and
+// DiffArchives compares two archives for regressions by content key.
+// `campaign serve` exposes the same read path over HTTP.
+//
+// See `cmd/campaign` for the CLI (subcommands run, status, serve, diff,
+// gc), examples/campaign and examples/fleet for complete programs, and
+// the README's "Campaigns" and "Querying results" sections for the spec
+// format, cache layout, resume semantics and the query API.
 //
 // See the examples/ directory for complete programs, cmd/experiments for
 // the harness that regenerates every table and figure of the paper, and
@@ -158,7 +164,10 @@ type Dataset = topology.Dataset
 
 // DefaultOptions mirrors the paper's standard configuration: 30
 // iterations of a 239 MB broadcast in 16 KiB fragments, fixed root,
-// sequential measurement.
+// sequential measurement. Derive variants fluently — each With* method
+// returns a modified copy, so a configuration is one expression:
+//
+//	opts := repro.DefaultOptions().WithWorkers(4).WithIterations(10)
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // ParallelOptions is DefaultOptions with the measurement fanned out over
@@ -167,10 +176,12 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // any workers >= 1 produces bit-identical graphs, partitions and NMI
 // scores — only wall-clock time changes. See core.Options.Workers for the
 // full contract (BackgroundFlows requires the sequential path).
+//
+// Deprecated: use DefaultOptions().WithWorkers(workers), which reads the
+// same and composes with the other With* derivations. ParallelOptions is
+// a thin wrapper over that form and will keep working.
 func ParallelOptions(workers int) Options {
-	opts := core.DefaultOptions()
-	opts.Workers = workers
-	return opts
+	return DefaultOptions().WithWorkers(workers)
 }
 
 // Datasets lists the registered scenario names — the six built-ins (2x2,

@@ -282,3 +282,23 @@ func TestParallelOptionsRunsIdenticallyToSequentialReplica(t *testing.T) {
 		t.Fatal("ParallelOptions drifted from DefaultOptions")
 	}
 }
+
+// The fluent derivations compose, return values (never mutate their
+// receiver), and the deprecated ParallelOptions helper remains an exact
+// thin wrapper over the fluent form.
+func TestFluentOptionDerivations(t *testing.T) {
+	base := DefaultOptions()
+	derived := base.WithWorkers(4).WithIterations(10).WithSeed(7)
+	if derived.Workers != 4 || derived.Iterations != 10 || derived.Seed != 7 {
+		t.Fatalf("chain did not apply: %+v", derived)
+	}
+	if base.Workers != DefaultOptions().Workers || base.Iterations != DefaultOptions().Iterations {
+		t.Fatal("WithWorkers mutated its receiver")
+	}
+	if derived.TopFraction != base.TopFraction || derived.BT != base.BT {
+		t.Fatal("chain disturbed unrelated fields")
+	}
+	if got, want := ParallelOptions(4), DefaultOptions().WithWorkers(4); got != want {
+		t.Fatalf("ParallelOptions diverged from DefaultOptions().WithWorkers: %+v vs %+v", got, want)
+	}
+}
