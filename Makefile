@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke ci
 
 all: build
 
@@ -122,4 +122,23 @@ serve-smoke:
 	kill $$pid; test $$st -eq 0
 	@rm -rf /tmp/bttomo_serve /tmp/bttomo_serve_bin /tmp/bttomo_serve_status.json /tmp/bttomo_serve_marg.json /tmp/bttomo_serve_diff.json
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke bench
+# wire-smoke asserts the real-socket backend end to end: a tiny wire
+# campaign (real loopback TCP swarms, paced by the scenario topology)
+# runs twice into one archive. The ledger must attribute each of the two
+# runs to the wire backend exactly once, the second invocation must be
+# 100% cache hits (wire measurements are reused, never recomputed), and
+# `campaign status` must report the per-backend attribution. The timeout
+# bounds a hung swarm: a wedged socket must fail the gate, not stall CI.
+wire-smoke:
+	rm -rf /tmp/bttomo_wire
+	timeout 300 $(GO) run ./cmd/campaign run -spec testdata/campaigns/wire.json -dry-run
+	timeout 300 $(GO) run ./cmd/campaign run -spec testdata/campaigns/wire.json -out /tmp/bttomo_wire
+	test "$$(grep -c '"backend":"wire"' /tmp/bttomo_wire/runs/index.json)" -eq 2
+	timeout 300 $(GO) run ./cmd/campaign run -spec testdata/campaigns/wire.json -out /tmp/bttomo_wire
+	grep -q '"misses": 0' /tmp/bttomo_wire/manifest.json
+	grep -q '"failures": 0' /tmp/bttomo_wire/manifest.json
+	test "$$(grep -c '"backend":"wire"' /tmp/bttomo_wire/runs/index.json)" -eq 2
+	timeout 60 $(GO) run ./cmd/campaign status -out /tmp/bttomo_wire | grep -q 'backends: wire 2'
+	@rm -rf /tmp/bttomo_wire
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke bench

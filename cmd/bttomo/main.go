@@ -40,6 +40,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		rotate     = flag.Bool("rotate-root", false, "rotate the broadcast root across iterations")
 		workers    = flag.Int("workers", 0, "parallel measurement workers (0 = sequential; results are identical for any workers >= 1)")
+		backend    = flag.String("backend", "", "measurement backend: "+strings.Join(repro.Backends(), ", ")+" (default sim; wire measures real loopback TCP swarms)")
 		fig13      = flag.Bool("fig13", false, "print the per-iteration NMI convergence series")
 		save       = flag.String("save", "", "write the aggregated measurement graph to this JSON file")
 		load       = flag.String("load", "", "skip measurement: cluster an archived measurement graph")
@@ -68,7 +69,7 @@ func main() {
 			if !*dynamics {
 				d.Timeline = nil
 			}
-			return run(d, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save)
+			return run(d, *backend, *iterations, *scale, *seed, *workers, *rotate, *fig13, *save)
 		}
 	}()
 	if err != nil {
@@ -124,12 +125,13 @@ func runArchived(path string, seed int64) error {
 	return nil
 }
 
-func run(d *repro.Dataset, iterations int, scale float64, seed int64, workers int, rotate, fig13 bool, save string) error {
+func run(d *repro.Dataset, backend string, iterations int, scale float64, seed int64, workers int, rotate, fig13 bool, save string) error {
 	opts := repro.DefaultOptions()
 	opts.Iterations = iterations
 	opts.Seed = seed
 	opts.RotateRoot = rotate
 	opts.Workers = workers
+	opts.Backend = backend
 	if scale > 0 && scale != 1 {
 		opts.BT.FileBytes = int(float64(opts.BT.FileBytes) * scale)
 		if opts.BT.FileBytes < opts.BT.FragmentSize {
@@ -141,6 +143,9 @@ func run(d *repro.Dataset, iterations int, scale float64, seed int64, workers in
 	par := "sequential"
 	if workers > 0 {
 		par = fmt.Sprintf("%d workers", workers)
+	}
+	if backend != "" && backend != "sim" {
+		par = backend + " backend, " + par
 	}
 	fmt.Printf("measuring: %d iterations x %d fragments of %d bytes (%s)\n",
 		opts.Iterations, opts.BT.NumFragments(), opts.BT.FragmentSize, par)

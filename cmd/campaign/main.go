@@ -207,14 +207,14 @@ func printGrid(c *repro.Campaign, out string) error {
 	}
 	fmt.Printf("campaign %s expands to %d runs:\n", c.Name, len(runs))
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	header := "RUN\tSCENARIO\tCONFIG\tKEY"
+	header := "RUN\tSCENARIO\tBACKEND\tCONFIG\tKEY"
 	if out != "" {
 		header += "\tCACHE"
 	}
 	fmt.Fprintln(tw, header)
 	hits := 0
 	for _, r := range runs {
-		line := fmt.Sprintf("%d\t%s\t%s\t%s", r.Index, r.Scenario, r.Config(), r.Key)
+		line := fmt.Sprintf("%d\t%s\t%s\t%s\t%s", r.Index, r.Scenario, r.Backend, r.Config(), r.Key)
 		if out != "" {
 			cache := "miss"
 			if store != nil {
@@ -265,6 +265,18 @@ func cmdStatus(args []string) error {
 		fmt.Printf("archived: %d runs\n", st.Archived)
 	}
 	fmt.Printf("executed: %d (ledger, exactly-once; %d ledger lines)\n", st.Executed, st.LedgerLines)
+	if len(st.Backends) > 0 {
+		names := make([]string, 0, len(st.Backends))
+		for b := range st.Backends {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, b := range names {
+			parts[i] = fmt.Sprintf("%s %d", b, st.Backends[b])
+		}
+		fmt.Printf("backends: %s\n", strings.Join(parts, ", "))
+	}
 	fmt.Printf("in flight: %d leases (%d stale)\nfinalized: %v\n", st.InFlight, st.StaleLeases, st.Finalized)
 	if len(st.Owners) > 0 {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,7 +29,7 @@ func main() {
 	const n, pieces = 8, 256 // 256 x 16 KiB = 4 MB payload
 
 	fmt.Printf("running a %d-client broadcast of %d fragments over loopback TCP...\n", n, pieces)
-	res, err := wire.RunLoopbackSwarm(n, pieces, time.Now().UnixNano()%1000, 60*time.Second)
+	res, err := wire.RunLoopbackSwarm(context.Background(), n, pieces, time.Now().UnixNano()%1000, 60*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -93,6 +93,10 @@ type RunInfo struct {
 	// Run is -1 when the run is known only from the directory scan.
 	Run      int    `json:"run"`
 	Scenario string `json:"scenario,omitempty"`
+	// Backend is the measurement substrate the ledger attributes the run
+	// to ("sim", "wire"); empty for pre-backend ledgers and scan-only
+	// keys.
+	Backend string `json:"backend,omitempty"`
 	// Owner is the worker the ledger attributes the execution to.
 	Owner string `json:"owner,omitempty"`
 	// WallSeconds and CompletedUnix are the ledger's execution record.
@@ -125,6 +129,7 @@ func (s *Store) Runs() ([]RunInfo, error) {
 			Key:           e.Key,
 			Run:           e.Run,
 			Scenario:      e.Scenario,
+			Backend:       e.Backend,
 			Owner:         e.Owner,
 			WallSeconds:   e.WallSeconds,
 			CompletedUnix: e.CompletedUnix,
@@ -182,6 +187,7 @@ func (s *Store) Get(key string) (*RunDetail, error) {
 		if e.Key == key {
 			d.Run = e.Run
 			d.Scenario = e.Scenario
+			d.Backend = e.Backend
 			d.Owner = e.Owner
 			d.WallSeconds = e.WallSeconds
 			d.CompletedUnix = e.CompletedUnix

@@ -40,6 +40,11 @@ type Status struct {
 	// runs will be reclaimed).
 	InFlight    int `json:"in_flight"`
 	StaleLeases int `json:"stale_leases"`
+	// Backends counts the unique executed runs per measurement substrate,
+	// from the ledger's attribution (first record per key; runs recorded
+	// by pre-backend ledgers count under "sim", the only backend that
+	// existed then).
+	Backends map[string]int `json:"backends,omitempty"`
 	// Owners is the per-worker view, sorted by owner id.
 	Owners []OwnerStatus `json:"owners,omitempty"`
 	// Leases lists every current lease, sorted by key.
@@ -105,6 +110,14 @@ func (s *Store) Status() (*Status, error) {
 		}
 		seen[e.Key] = true
 		st.Executed++
+		backend := e.Backend
+		if backend == "" {
+			backend = "sim"
+		}
+		if st.Backends == nil {
+			st.Backends = make(map[string]int)
+		}
+		st.Backends[backend]++
 		if e.Owner == "" {
 			continue
 		}

@@ -30,12 +30,16 @@
 // # Determinism contract
 //
 // Expansion order is fixed (scenarios outermost, then dynamics,
-// iterations, window, rotate-root, seed, scale, top-fraction, workers —
-// each axis in declaration order), run results are bit-identical for any jobs >= 1 and
-// any per-run worker count, and the aggregate CSV is derived from the
-// archived documents in run order — so two invocations of the same
-// campaign produce byte-identical aggregates regardless of parallelism,
-// interruption, or cache state.
+// iterations, window, rotate-root, seed, scale, top-fraction, backend,
+// workers — each axis in declaration order), sim-backed run results are
+// bit-identical for any jobs >= 1 and any per-run worker count, and the
+// aggregate CSV is derived from the archived documents in run order — so
+// two invocations of the same campaign produce byte-identical aggregates
+// regardless of parallelism, interruption, or cache state. Wire-backed
+// cells are real measurements: the archived result is reused on resume
+// exactly like any other, but recomputing it from scratch would yield
+// (slightly) different bytes — which is why the backend is part of the
+// content key.
 package campaign
 
 import (
@@ -47,6 +51,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/persist"
+	"repro/internal/substrate"
 )
 
 // ScenarioRef names one scenario of the campaign: either a registered
@@ -98,6 +103,15 @@ type Axes struct {
 	// linearly. Failures and churn are binary and replay whenever the
 	// intensity is positive. Default 1.
 	Dynamics []float64 `json:"dynamics,omitempty"`
+	// Backend values select the measurement substrate per cell: "sim"
+	// (default; the deterministic simulator) or "wire" (real BitTorrent
+	// swarms over loopback TCP). Result-relevant: a wire run is a real
+	// measurement, never cache-equivalent to a sim run of the same cell,
+	// so the backend enters the content hash (canonicalised — "" and
+	// "sim" are the same axis value, and listing both is a duplicate).
+	// Backends that cannot replay a scenario's dynamics timeline are
+	// rejected at expansion.
+	Backend []string `json:"backend,omitempty"`
 	// Workers values set the per-run worker count. Results never depend
 	// on it (the bit-identity contract), so it is execution policy only:
 	// it is excluded from the cache key, forced to at least 1 (the
@@ -138,6 +152,7 @@ func (s *Spec) Clone() *Spec {
 	c.Axes.Scale = append([]float64(nil), s.Axes.Scale...)
 	c.Axes.TopFraction = append([]float64(nil), s.Axes.TopFraction...)
 	c.Axes.Dynamics = append([]float64(nil), s.Axes.Dynamics...)
+	c.Axes.Backend = append([]string(nil), s.Axes.Backend...)
 	c.Axes.Workers = append([]int(nil), s.Axes.Workers...)
 	return &c
 }
@@ -203,6 +218,17 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign %s: duplicate dynamics axis value %g", s.Name, v)
 		}
 		seenD[v] = true
+	}
+	seenB := make(map[string]bool)
+	for _, v := range s.Axes.Backend {
+		b := substrate.Canonical(v)
+		if _, ok := substrate.Describe(b); !ok {
+			return fmt.Errorf("campaign %s: unknown backend axis value %q (have %v)", s.Name, v, substrate.Names())
+		}
+		if seenB[b] {
+			return fmt.Errorf("campaign %s: duplicate backend axis value %q", s.Name, b)
+		}
+		seenB[b] = true
 	}
 	if len(s.Axes.RotateRoot) > 2 {
 		return fmt.Errorf("campaign %s: rotate_root axis has %d values; a bool axis has at most 2", s.Name, len(s.Axes.RotateRoot))
@@ -364,6 +390,13 @@ func (b *Builder) TopFractions(vals ...float64) *Builder {
 // timeline, 1 replays it as written; see Axes.Dynamics).
 func (b *Builder) Dynamics(vals ...float64) *Builder {
 	b.spec.Axes.Dynamics = append(b.spec.Axes.Dynamics, vals...)
+	return b
+}
+
+// Backends sets the measurement-backend axis ("sim", "wire"; see
+// Axes.Backend).
+func (b *Builder) Backends(vals ...string) *Builder {
+	b.spec.Axes.Backend = append(b.spec.Axes.Backend, vals...)
 	return b
 }
 

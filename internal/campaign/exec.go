@@ -90,6 +90,8 @@ type Entry struct {
 	Scenario string `json:"scenario"`
 	Config   string `json:"config"`
 	Key      string `json:"key"`
+	// Backend is the cell's measurement substrate ("sim", "wire").
+	Backend string `json:"backend,omitempty"`
 	// Status is "done" or "failed".
 	Status string `json:"status"`
 	// Cache is "hit" (loaded from the archive), "miss" (computed), or
@@ -382,6 +384,7 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 		Scenario: run.Scenario,
 		Config:   run.Config(),
 		Key:      run.Key,
+		Backend:  run.Backend,
 	}
 	start := time.Now()
 	archive := x.archivePath(run.Key)
@@ -439,6 +442,7 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 		Key:           run.Key,
 		Run:           run.Index,
 		Scenario:      run.Scenario,
+		Backend:       run.Backend,
 		Owner:         x.opt.Owner,
 		Cache:         "miss",
 		WallSeconds:   e.WallSeconds,
@@ -576,6 +580,7 @@ func (x *executor) cumulativeManifest() *Manifest {
 			Scenario: run.Scenario,
 			Config:   run.Config(),
 			Key:      run.Key,
+			Backend:  run.Backend,
 			Status:   "done",
 		}
 		if p := x.dupOf[i]; p >= 0 {
@@ -668,7 +673,7 @@ func aggregate(name string, runs []Run, docs []*persist.ResultDoc) *report.Table
 	t := &report.Table{
 		Title: "Campaign " + name,
 		Header: []string{"run", "scenario", "dynamics", "iterations", "window",
-			"rotate_root", "seed", "scale", "top_fraction", "workers", "clusters", "q", "nmi", "sim_seconds", "key"},
+			"rotate_root", "seed", "scale", "top_fraction", "backend", "workers", "clusters", "q", "nmi", "sim_seconds", "key"},
 		Caption: "one row per grid cell, in expansion order; key is the content address of the archived result",
 	}
 	for i, run := range runs {
@@ -693,6 +698,7 @@ func aggregate(name string, runs []Run, docs []*persist.ResultDoc) *report.Table
 			strconv.FormatInt(run.Seed, 10),
 			formatFloat(run.Scale),
 			formatFloat(run.TopFraction),
+			run.Backend,
 			strconv.Itoa(run.Workers),
 			clusters, q, nmiS, simS,
 			run.Key[:12],

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/persist"
 	"repro/internal/scenario"
+	"repro/internal/substrate"
 )
 
 // Run is one expanded cell of a campaign grid: a resolved scenario spec
@@ -33,6 +34,9 @@ type Run struct {
 	Seed        int64
 	Scale       float64
 	TopFraction float64
+	// Backend is the canonical measurement-backend coordinate ("sim",
+	// "wire"); result-relevant, so it enters Key.
+	Backend string
 	// Workers is the requested per-run worker count — execution policy,
 	// excluded from Key (see Axes.Workers).
 	Workers int
@@ -44,8 +48,8 @@ type Run struct {
 // Config renders the cell's option coordinates compactly for manifests,
 // logs and dry-run listings.
 func (r Run) Config() string {
-	return fmt.Sprintf("dyn=%g iters=%d window=%d rotate=%v seed=%d scale=%g top=%g workers=%d",
-		r.DynScale, r.Iterations, r.Window, r.RotateRoot, r.Seed, r.Scale, r.TopFraction, r.Workers)
+	return fmt.Sprintf("dyn=%g iters=%d window=%d rotate=%v seed=%d scale=%g top=%g backend=%s workers=%d",
+		r.DynScale, r.Iterations, r.Window, r.RotateRoot, r.Seed, r.Scale, r.TopFraction, r.Backend, r.Workers)
 }
 
 // Options materialises the cell's core options. campaignJobs is the
@@ -66,6 +70,7 @@ func (r Run) Options(campaignJobs int) core.Options {
 	// changing the archived outcome.
 	opts.ClusterEvery = 0
 	opts.DiscardBroadcasts = true
+	opts.Backend = r.Backend
 	opts.Workers = r.Workers
 	if opts.Workers < 1 {
 		opts.Workers = 1
@@ -92,10 +97,11 @@ func scaledPayload(fileBytes, fragmentSize int, scale float64) int {
 // Expand resolves the campaign's scenarios and expands the cross-product
 // of all axes into the ordered run list. The order is deterministic:
 // scenarios outermost, then dynamics, iterations, window, rotate-root,
-// seed, scale, top-fraction, workers, each axis in declaration order. Expansion fails —
-// rather than expanding a cell that cannot run — when a scenario does not
-// resolve, a scaled timeline no longer validates, or a cell's dynamics
-// events target iterations beyond its budget.
+// seed, scale, top-fraction, backend, workers, each axis in declaration
+// order. Expansion fails — rather than expanding a cell that cannot run —
+// when a scenario does not resolve, a scaled timeline no longer
+// validates, a cell's dynamics events target iterations beyond its
+// budget, or a backend cannot replay the scenario's dynamics timeline.
 func (s *Spec) Expand() ([]Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -122,6 +128,10 @@ func (s *Spec) Expand() ([]Run, error) {
 	scales := orDefaultFloats(s.Axes.Scale, 1)
 	topFracs := orDefaultFloats(s.Axes.TopFraction, def.TopFraction)
 	dyns := orDefaultFloats(s.Axes.Dynamics, 1)
+	backends := s.Axes.Backend
+	if len(backends) == 0 {
+		backends = []string{"sim"}
+	}
 	workers := orDefaultInts(s.Axes.Workers, 1)
 
 	var runs []Run
@@ -145,34 +155,43 @@ func (s *Spec) Expand() ([]Run, error) {
 						for _, seed := range seeds {
 							for _, scale := range scales {
 								for _, top := range topFracs {
-									for _, wk := range workers {
-										run := Run{
-											Index:       len(runs),
-											Scenario:    name,
-											Spec:        variant,
-											DynScale:    dyn,
-											Iterations:  it,
-											Window:      win,
-											RotateRoot:  rot,
-											Seed:        seed,
-											Scale:       scale,
-											TopFraction: top,
-											Workers:     wk,
+									for _, backend := range backends {
+										backend = substrate.Canonical(backend)
+										if caps, _ := substrate.Describe(backend); len(variant.Dynamics) > 0 && !caps.Dynamics {
+											return nil, fmt.Errorf("campaign %s: scenario %s has a dynamics timeline, which backend %q cannot replay (drop the backend or add dynamics=[0] to strip the timeline)",
+												s.Name, name, backend)
 										}
-										key, err := runKey(variantJSON, optionsKey{
-											Iterations:   it,
-											Window:       win,
-											RotateRoot:   rot,
-											Seed:         seed,
-											TopFraction:  canonTopFraction(top),
-											FileBytes:    scaledPayload(def.BT.FileBytes, def.BT.FragmentSize, scale),
-											FragmentSize: def.BT.FragmentSize,
-										})
-										if err != nil {
-											return nil, fmt.Errorf("campaign %s: %s: %w", s.Name, name, err)
+										for _, wk := range workers {
+											run := Run{
+												Index:       len(runs),
+												Scenario:    name,
+												Spec:        variant,
+												DynScale:    dyn,
+												Iterations:  it,
+												Window:      win,
+												RotateRoot:  rot,
+												Seed:        seed,
+												Scale:       scale,
+												TopFraction: top,
+												Backend:     backend,
+												Workers:     wk,
+											}
+											key, err := runKey(variantJSON, optionsKey{
+												Iterations:   it,
+												Window:       win,
+												RotateRoot:   rot,
+												Seed:         seed,
+												TopFraction:  canonTopFraction(top),
+												FileBytes:    scaledPayload(def.BT.FileBytes, def.BT.FragmentSize, scale),
+												FragmentSize: def.BT.FragmentSize,
+												Backend:      backend,
+											})
+											if err != nil {
+												return nil, fmt.Errorf("campaign %s: %s: %w", s.Name, name, err)
+											}
+											run.Key = key
+											runs = append(runs, run)
 										}
-										run.Key = key
-										runs = append(runs, run)
 									}
 								}
 							}

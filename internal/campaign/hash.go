@@ -26,13 +26,17 @@ import (
 // keyVersion is bumped whenever the key document's semantics change, so
 // archives written under an older scheme are recomputed rather than
 // misread. v2: TopFraction joined the result-relevant options (the
-// top_fraction axis), invalidating every v1 archive.
-const keyVersion = 2
+// top_fraction axis), invalidating every v1 archive. v3: the measurement
+// backend joined the key — a wire run is a real measurement, never
+// cache-equivalent to a sim run of the same cell — invalidating every v2
+// archive (swept by the stale-keyVersion GC path).
+const keyVersion = 3
 
 // optionsKey is the canonical form of the result-relevant options. The
 // payload enters as resolved FileBytes, not the scale factor: two scale
 // values that floor to the same fragment-rounded payload are the same
-// measurement.
+// measurement. Backend enters canonical ("" and "sim" hash identically,
+// via substrate.Canonical at the expansion site).
 type optionsKey struct {
 	Iterations   int     `json:"iterations"`
 	Window       int     `json:"window"`
@@ -41,6 +45,7 @@ type optionsKey struct {
 	TopFraction  float64 `json:"top_fraction"`
 	FileBytes    int     `json:"file_bytes"`
 	FragmentSize int     `json:"fragment_size"`
+	Backend      string  `json:"backend"`
 }
 
 // keyDoc is the hashed document.

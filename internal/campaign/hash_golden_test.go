@@ -19,16 +19,16 @@ import "testing"
 // invalidated. An unintentional failure means refactoring changed the
 // canonical bytes; fix the refactor instead of the goldens.
 func TestBuiltinCacheKeysArePinned(t *testing.T) {
-	// Pinned under key schema v2 (keyVersion 2: TopFraction joined the
-	// result-relevant options when the top_fraction axis landed; v1
-	// archives are deliberately invalidated).
+	// Pinned under key schema v3 (keyVersion 3: Backend joined the
+	// result-relevant options when the backend axis landed; v2 archives
+	// are deliberately invalidated and swept by the stale-keyVersion GC).
 	golden := map[string]string{
-		"2x2":  "3b230f2ba467cbbae92ad5fd75d2069740b47196616a46898274864b6b07a7bf",
-		"B":    "f38eecbbbe796e02316ac59d35cce155fa3342f551f784c2084e2583c91fc5c1",
-		"BGT":  "44c975b6bf45acdcf5f3c1925dbf46773688068eb4353522c20e32400e6445ff",
-		"BGTL": "c250d94dc5cb432ee509e852277a96d35c5dccef7541f491cbb1163c195e5497",
-		"BT":   "2eeac7c1dc49a3a82f5b5c97223ce47692b0fb8acbbd42081f4aad8bdee7638a",
-		"GT":   "839fdf0be3705a62b9b8016c10f587db29b00a84038ea1de8d02b110e036a90a",
+		"2x2":  "f51751187b9a644b819ed6da931982ce7f20eccba6155a89cc1a219c14618611",
+		"B":    "222b05bb92e0feaae80ff12c83a3a9c23e2f05bfe9066bc4376d78bf114c33f8",
+		"BGT":  "141bc8f87c8f16c289a5707a7eb1a572ee53ba123e0f9ffabcc54873b66c65d3",
+		"BGTL": "35c9cb9f63b840c6cdd0c12b67cdadb24309048ce0b807ec8eb274053d2cc8d0",
+		"BT":   "1494770ac3179e9d8d5c2da45b1ffa87832dfdee67a9bb50d41b177e2a299461",
+		"GT":   "523c28112802cc4273516b9f74bc4f4f7ffb6c287dddf8621881376280ced9e7",
 	}
 	spec := NewBuilder("golden").
 		Scenario("2x2", "B", "BGT", "BGTL", "BT", "GT").

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/nmi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/substrate"
 	"repro/internal/topology"
 )
 
@@ -96,6 +98,15 @@ type Options struct {
 	// between iterations. RotateRoot and Window compose with Workers;
 	// BackgroundFlows does not (see its doc).
 	Workers int
+	// Backend selects the measurement substrate executing the broadcast
+	// iterations: "sim" (default; the discrete-event simulator on
+	// per-iteration replicas) or "wire" (real BitTorrent swarms over
+	// loopback TCP, paced to the scenario's bottleneck capacities). The
+	// empty string means "sim". Any non-default backend runs on the
+	// worker pool: Workers == 0 behaves as Workers == 1. Backends
+	// declare capabilities, and Validate rejects options they cannot
+	// honor — "wire" refuses Dynamics timelines and BackgroundFlows.
+	Backend string
 	// DiscardBroadcasts, when true, drops the raw per-broadcast
 	// instrumentation after its fragment counts are merged:
 	// IterationRecord.Broadcast stays nil. A Result otherwise retains
@@ -153,6 +164,17 @@ func (o Options) Validate() error {
 	if o.BackgroundFlows > 0 && o.Dynamics.Len() > 0 {
 		return fmt.Errorf("core: BackgroundFlows=%d needs the shared engine and cannot run with a Dynamics timeline; script `burst` events instead",
 			o.BackgroundFlows)
+	}
+	backend := substrate.Canonical(o.Backend)
+	caps, ok := substrate.Describe(backend)
+	if !ok {
+		return fmt.Errorf("core: unknown measurement backend %q (have %v)", o.Backend, substrate.Names())
+	}
+	if o.Dynamics.Len() > 0 && !caps.Dynamics {
+		return fmt.Errorf("core: backend %q cannot replay a Dynamics timeline", backend)
+	}
+	if o.BackgroundFlows > 0 && !caps.Background {
+		return fmt.Errorf("core: backend %q does not support BackgroundFlows", backend)
 	}
 	return nil
 }
@@ -234,10 +256,32 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 		// the sequential schedule bit-identically.
 		opts.Workers = 1
 	}
+	backend := substrate.Canonical(opts.Backend)
+	if backend != "sim" && opts.Workers == 0 {
+		// Only the sim backend has an in-place sequential mode on the
+		// caller's engine; every other substrate measures through the
+		// worker pool.
+		opts.Workers = 1
+	}
 	m := newMerger(net, hosts, truth, opts, rng, plans)
 
 	if opts.Workers > 0 {
-		if err := runParallel(net, hosts, opts, rng, m, plans); err != nil {
+		var tl *dynamics.Timeline
+		if plans != nil {
+			tl = opts.Dynamics
+		}
+		sub, err := substrate.New(backend, substrate.Env{
+			Net:      net,
+			Hosts:    hosts,
+			Timeline: tl,
+			Seed:     opts.Seed,
+			Workers:  opts.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer sub.Close()
+		if err := runParallel(sub, hosts, opts, rng, m, plans); err != nil {
 			return nil, err
 		}
 		return m.res, nil
@@ -312,16 +356,14 @@ func planIterations(tl *dynamics.Timeline, hosts []int, opts Options) ([]iterPla
 }
 
 // runParallel fans the measurement iterations out over a pool of
-// opts.Workers workers, each measuring on its own engine+network replica,
-// and merges the broadcasts in iteration order. On error it stops handing
-// out new iterations, drains the in-flight ones, and reports the error of
-// the lowest-numbered failed iteration (so the reported failure does not
+// opts.Workers workers, each measuring through the run's substrate (the
+// sim substrate replicates the network per iteration; the wire substrate
+// runs a real loopback swarm), and merges the broadcasts in iteration
+// order. On error it stops handing out new iterations, cancels the
+// in-flight ones, drains them, and reports the error of the
+// lowest-numbered failed iteration (so the reported failure does not
 // depend on goroutine scheduling).
-func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m *merger, plans []iterPlan) error {
-	if net.ActiveFlows() > 0 || net.PendingFlows() > 0 {
-		return fmt.Errorf("core: Workers=%d needs an idle network to replicate, have %d active and %d pending flows",
-			opts.Workers, net.ActiveFlows(), net.PendingFlows())
-	}
+func runParallel(sub substrate.Substrate, hosts []int, opts Options, rng *sim.RNG, m *merger, plans []iterPlan) error {
 	workers := opts.Workers
 	if workers > opts.Iterations {
 		workers = opts.Iterations
@@ -335,6 +377,10 @@ func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m
 	tasks := make(chan int)
 	results := make(chan outcome, workers)
 	stop := make(chan struct{})
+	// ctx lets a substrate holding real resources (sockets, deadlines)
+	// abandon in-flight measurements as soon as one iteration fails.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	// credits bounds the run-ahead: at most maxAhead iterations may be
 	// in flight or completed-but-unmerged at once, so one stalled worker
 	// cannot make the reorder buffer accumulate O(Iterations) broadcast
@@ -351,17 +397,16 @@ func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m
 		go func() {
 			defer wg.Done()
 			for it := range tasks {
-				replicaEng := sim.NewEngine()
-				replica := net.Clone(replicaEng)
 				iterHosts := hosts
 				if plans != nil {
-					// Replay the timeline on this iteration's private
-					// replica: earlier iterations' link state applies
-					// now, this iteration's events fire mid-broadcast.
-					opts.Dynamics.Apply(it, replicaEng, replica)
 					iterHosts = plans[it].hosts
 				}
-				bres, err := bittorrent.RunBroadcast(replicaEng, replica, iterHosts, broadcastConfig(opts, it, len(iterHosts)), rng.Streamf("broadcast", it))
+				bres, err := sub.Measure(ctx, substrate.Request{
+					Iter:   it,
+					Hosts:  iterHosts,
+					Config: broadcastConfig(opts, it, len(iterHosts)),
+					RNG:    rng.Streamf("broadcast", it),
+				})
 				results <- outcome{it: it, bres: bres, err: err}
 			}
 		}()
@@ -395,6 +440,7 @@ func runParallel(net *simnet.Network, hosts []int, opts Options, rng *sim.RNG, m
 		if out.err != nil {
 			if firstErr == nil {
 				close(stop)
+				cancel()
 			}
 			if firstErr == nil || out.it < errIt {
 				firstErr, errIt = out.err, out.it

@@ -30,3 +30,10 @@ func (o Options) WithSeed(seed int64) Options {
 	o.Seed = seed
 	return o
 }
+
+// WithBackend returns a copy of o measuring through the named substrate
+// ("sim" or "wire"; see Options.Backend for what each supports).
+func (o Options) WithBackend(name string) Options {
+	o.Backend = name
+	return o
+}

@@ -109,8 +109,8 @@ func (r *Runner) saveCSV(name string, t *report.Table) error {
 
 // Names lists the runnable experiments in paper order, followed by the
 // Future-Work extensions (E15 hierarchy, E16 randomized stress, E17
-// network drift).
-var Names = []string{"fig4", "fig5", "efficiency", "cost", "netpipe", "datasets", "ablation", "hierarchy", "stress", "drift"}
+// network drift, E18 sim-vs-wire substrate comparison).
+var Names = []string{"fig4", "fig5", "efficiency", "cost", "netpipe", "datasets", "ablation", "hierarchy", "stress", "drift", "simreal"}
 
 // Run executes one named experiment.
 func (r *Runner) Run(name string) error {
@@ -144,6 +144,9 @@ func (r *Runner) Run(name string) error {
 		return err
 	case "drift":
 		_, err := r.Drift()
+		return err
+	case "simreal":
+		_, err := r.SimReal()
 		return err
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)

@@ -1,0 +1,100 @@
+package experiments
+
+// E18: the measurement-substrate extension. The paper measured on real
+// Grid'5000 swarms; this repository's default backend replays the same
+// protocol on a discrete-event simulator. With the substrate made
+// pluggable (internal/substrate), the two can finally be compared on the
+// same scenario: the "sim" backend replays broadcasts on the fluid
+// simulator, and the "wire" backend runs each iteration as a real
+// BitTorrent swarm over loopback TCP, with each peer pair paced at the
+// scenario topology's path bandwidth. Both feed the identical merger,
+// Louvain clustering and NMI scoring, so any accuracy gap is the
+// substrate's, not the pipeline's.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// SimRealRow is one backend's outcome on the shared scenario.
+type SimRealRow struct {
+	Backend string
+	// Fragments is the broadcast payload size in fragments.
+	Fragments int
+	TruthK    int
+	FoundK    int
+	NMI       float64
+	Q         float64
+	// MeasureSeconds is the measurement phase's total time: simulated
+	// seconds for "sim", real wall-clock seconds for "wire".
+	MeasureSeconds float64
+}
+
+// SimRealData is the E18 result.
+type SimRealData struct {
+	Rows  []SimRealRow
+	Table *report.Table
+}
+
+// simRealMaxFragments caps the broadcast payload for this experiment.
+// The wire backend moves (paced) real bytes through real sockets, so
+// the paper's full 239 MB payload is not a feasible per-iteration unit
+// of work; ~31 MB is the smallest payload at which the simulator's
+// fluid model develops the inter-site contrast on this family, and real
+// swarms finish it in seconds. The cap binds both backends so the
+// comparison stays like-for-like.
+const simRealMaxFragments = 2000
+
+// SimReal runs E18: tomography on a 2-site, 8-host scenario with a
+// 36x bandwidth contrast (900 Mbit/s intra-site vs 25 Mbit/s uplinks),
+// once per backend. The contrast is deliberately strong: the question
+// is whether real TCP swarms reproduce the simulator's clustering, not
+// how close to the detection threshold the wire backend can operate.
+func (r *Runner) SimReal() (*SimRealData, error) {
+	spec := scenario.NSites(2, 4, 900, 25)
+	data := &SimRealData{}
+	for _, backend := range []string{"sim", "wire"} {
+		// Fresh simulator state per run; the wire backend still reads the
+		// compiled topology for its pacing matrix.
+		d, err := spec.Compile()
+		if err != nil {
+			return nil, err
+		}
+		opts := r.options(3)
+		opts.Backend = backend
+		opts.ClusterEvery = 0
+		if cap := simRealMaxFragments * opts.BT.FragmentSize; opts.BT.FileBytes > cap {
+			opts.BT.FileBytes = cap
+		}
+		res, err := core.RunDataset(d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %w", backend, err)
+		}
+		data.Rows = append(data.Rows, SimRealRow{
+			Backend:        backend,
+			Fragments:      opts.BT.NumFragments(),
+			TruthK:         countLabels(d.GroundTruth),
+			FoundK:         res.Partition.NumClusters(),
+			NMI:            res.NMI,
+			Q:              res.Q,
+			MeasureSeconds: res.TotalMeasurementTime,
+		})
+	}
+	t := &report.Table{
+		Title:  "E18 / substrate extension — simulator vs real loopback TCP swarms (NSites 2x4)",
+		Header: []string{"backend", "fragments", "truth k", "found k", "NMI", "Q", "measure s"},
+		Caption: "the same scenario, merger, clustering and scoring over both measurement substrates; " +
+			"\"measure s\" is simulated time for sim, wall-clock for wire",
+	}
+	for _, row := range data.Rows {
+		t.AddRow(row.Backend, row.Fragments, row.TruthK, row.FoundK, fin(row.NMI), row.Q, row.MeasureSeconds)
+	}
+	data.Table = t
+	if err := r.emit(t); err != nil {
+		return nil, err
+	}
+	return data, r.saveCSV("e18_simreal.csv", t)
+}

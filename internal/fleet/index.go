@@ -34,6 +34,9 @@ type IndexEntry struct {
 	Run int `json:"run"`
 	// Scenario is the cell's scenario display name.
 	Scenario string `json:"scenario,omitempty"`
+	// Backend is the measurement substrate that executed the run ("sim",
+	// "wire"); empty for ledgers written before the backend axis existed.
+	Backend string `json:"backend,omitempty"`
 	// Owner is the worker that executed the run; empty for entries
 	// synthesised by the directory-scan fallback.
 	Owner string `json:"owner,omitempty"`

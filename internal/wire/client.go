@@ -61,7 +61,15 @@ type Client struct {
 
 	uploadSlots int
 	rng         *rand.Rand
+	// rates[j] is the upload pacing toward remote client j in bytes/s
+	// (0 or out of range = unpaced). Set before wiring, read-only after.
+	rates []float64
 }
+
+// handshakeTimeout bounds how long AddConn may block in the wire
+// handshake, so an accepted connection whose peer never speaks cannot
+// pin its goroutine forever.
+const handshakeTimeout = 10 * time.Second
 
 // NewClient builds a client; seed clients start with every piece.
 func NewClient(t Torrent, index int, seed bool, rngSeed int64) *Client {
@@ -93,6 +101,15 @@ func (c *Client) Index() int { return c.index }
 // Done returns a channel closed once the client holds every piece.
 func (c *Client) Done() <-chan struct{} { return c.completeC }
 
+// SetUploadRates installs the per-remote upload pacing (bytes/s; 0 =
+// unpaced). It must be called before the client is wired to any peer:
+// connections snapshot their rate at AddConn time.
+func (c *Client) SetUploadRates(rates []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rates = rates
+}
+
 // Counts returns a copy of the per-peer received-fragment counters — the
 // paper's instrumentation.
 func (c *Client) Counts() map[int]int {
@@ -119,6 +136,9 @@ type peerConn struct {
 	remoteIndex int
 
 	out chan Message // writer queue
+	// rate is the upload pacing toward the remote in bytes/s (0 =
+	// unpaced), snapshotted from the client's rate table at AddConn.
+	rate float64
 
 	mu             sync.Mutex
 	remoteHave     []bool
@@ -142,8 +162,18 @@ func peerIndexFromID(id [20]byte) (int, error) {
 }
 
 // AddConn performs the handshake (initiating if dial is true) and starts
-// the connection's reader and writer loops.
+// the connection's reader and writer loops. The handshake runs under a
+// deadline, so a peer that connects and then stalls costs a bounded wait,
+// not a leaked goroutine; a closed client refuses new connections.
 func (c *Client) AddConn(conn net.Conn, dial bool) (*peerConn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		conn.Close()
+		return nil, fmt.Errorf("wire: client %d is closed", c.index)
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hs := Handshake{InfoHash: c.torrent.InfoHash, PeerID: c.peerID}
 	var remote Handshake
 	var err error
@@ -171,6 +201,7 @@ func (c *Client) AddConn(conn net.Conn, dial bool) (*peerConn, error) {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetDeadline(time.Time{})
 	pc := &peerConn{
 		client:      c,
 		conn:        conn,
@@ -182,6 +213,14 @@ func (c *Client) AddConn(conn net.Conn, dial bool) (*peerConn, error) {
 		outstanding: make(map[uint32]bool),
 	}
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("wire: client %d is closed", c.index)
+	}
+	if idx >= 0 && idx < len(c.rates) {
+		pc.rate = c.rates[idx]
+	}
 	c.conns = append(c.conns, pc)
 	// Announce what we have.
 	bf := c.bitfieldLocked()
@@ -219,6 +258,13 @@ func (pc *peerConn) send(m Message) {
 
 func (pc *peerConn) writer() {
 	for m := range pc.out {
+		if pc.rate > 0 && m.ID == MsgPiece {
+			// Upload pacing: serving a piece to this remote takes the
+			// time the scenario's bottleneck bandwidth says it should.
+			// Sleeping in the writer serializes the connection's piece
+			// stream, which is exactly a bandwidth-limited link.
+			time.Sleep(time.Duration(float64(len(m.Payload)) / pc.rate * float64(time.Second)))
+		}
 		if err := Encode(pc.conn, m); err != nil {
 			pc.conn.Close()
 			return

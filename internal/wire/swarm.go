@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -29,54 +30,134 @@ func (r *SwarmResult) TotalFragments() int {
 	return total
 }
 
-// RunLoopbackSwarm runs a synchronized broadcast of numPieces 16 KiB
-// fragments among n clients over real TCP connections on 127.0.0.1:
-// client 0 seeds, everyone connects to everyone (the swarm sizes the
-// paper uses are below the 35-peer cap, where the mesh is complete), and
-// the call returns when every client holds the full payload. timeout
-// bounds the experiment.
-func RunLoopbackSwarm(n, numPieces int, seed int64, timeout time.Duration) (*SwarmResult, error) {
+// SwarmOptions configures one real-socket broadcast.
+type SwarmOptions struct {
+	// N is the number of clients; client Root seeds.
+	N int
+	// NumPieces is the payload size in 16 KiB pieces.
+	NumPieces int
+	// Root is the seeding client's index (the broadcast root).
+	Root int
+	// Seed drives all protocol randomness (peer-id salting, rechoke
+	// shuffles, tracker sampling) for best-effort reproducibility.
+	Seed int64
+	// Timeout, when positive, bounds the broadcast in addition to ctx.
+	Timeout time.Duration
+	// Rates, when non-nil, is the N x N upload pacing matrix:
+	// Rates[i][j] is the rate in bytes/s at which client i serves piece
+	// payloads to client j (0 = unpaced). Deriving it from a scenario
+	// topology's bottleneck capacities is what lets a loopback swarm —
+	// where TCP itself is uniformly fast — reproduce the scenario's
+	// bandwidth contrast in real traffic.
+	Rates [][]float64
+	// Tracked bootstraps peer discovery through an in-process HTTP
+	// tracker (capped, random peer sets — the §II-C coverage effect)
+	// instead of static full-mesh wiring.
+	Tracked bool
+}
+
+// RunSwarm runs a synchronized broadcast of NumPieces 16 KiB fragments
+// among N clients over real TCP connections on 127.0.0.1 and returns
+// when every client holds the full payload. Cancellation is prompt and
+// clean: when ctx expires (or Timeout elapses) the swarm's listeners,
+// clients and in-flight handshakes are all torn down before the call
+// returns, so a stalled peer costs an error, not leaked goroutines.
+func RunSwarm(ctx context.Context, opt SwarmOptions) (*SwarmResult, error) {
+	n := opt.N
 	if n < 2 {
 		return nil, fmt.Errorf("wire: need at least 2 clients, have %d", n)
 	}
-	if numPieces < 1 {
+	if opt.NumPieces < 1 {
 		return nil, fmt.Errorf("wire: need at least 1 piece")
 	}
+	if opt.Root < 0 || opt.Root >= n {
+		return nil, fmt.Errorf("wire: root %d out of range for %d clients", opt.Root, n)
+	}
+	if opt.Rates != nil && len(opt.Rates) != n {
+		return nil, fmt.Errorf("wire: rate matrix has %d rows for %d clients", len(opt.Rates), n)
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+
 	var torrent Torrent
-	torrent.NumPieces = numPieces
-	copy(torrent.InfoHash[:], fmt.Sprintf("repro-broadcast-%04d", numPieces%10000))
+	torrent.NumPieces = opt.NumPieces
+	copy(torrent.InfoHash[:], fmt.Sprintf("repro-broadcast-%04d", opt.NumPieces%10000))
+
+	var tracker *Tracker
+	if opt.Tracked {
+		tr, err := NewTracker(opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tracker = tr
+		defer tracker.Close()
+	}
 
 	clients := make([]*Client, n)
 	listeners := make([]net.Listener, n)
+	var pendMu sync.Mutex
+	var pending []net.Conn // accepted conns still mid-handshake
+	shutdown := func() {
+		for _, l := range listeners {
+			if l != nil {
+				l.Close()
+			}
+		}
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		pendMu.Lock()
+		for _, conn := range pending {
+			conn.Close()
+		}
+		pending = nil
+		pendMu.Unlock()
+	}
+	var once sync.Once
+	doShutdown := func() { once.Do(shutdown) }
+	defer doShutdown()
+
 	for i := 0; i < n; i++ {
-		clients[i] = NewClient(torrent, i, i == 0, seed+int64(i)*7919)
+		clients[i] = NewClient(torrent, i, i == opt.Root, opt.Seed+int64(i)*7919)
+		if opt.Rates != nil {
+			clients[i].SetUploadRates(opt.Rates[i])
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("wire: listen: %w", err)
 		}
 		listeners[i] = l
 	}
-	defer func() {
-		for _, l := range listeners {
-			l.Close()
-		}
-		for _, c := range clients {
-			c.Close()
+
+	// Watchdog: a dead ctx tears the whole swarm down, which unwinds
+	// every blocked accept, handshake and completion wait below.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			doShutdown()
+		case <-watchdogDone:
 		}
 	}()
 
 	// Accept loops.
-	var acceptWG sync.WaitGroup
 	for i := 0; i < n; i++ {
 		i := i
-		acceptWG.Add(1)
 		go func() {
-			defer acceptWG.Done()
 			for {
 				conn, err := listeners[i].Accept()
 				if err != nil {
 					return
 				}
+				pendMu.Lock()
+				pending = append(pending, conn)
+				pendMu.Unlock()
 				go func() {
 					if _, err := clients[i].AddConn(conn, false); err != nil {
 						conn.Close()
@@ -86,15 +167,64 @@ func RunLoopbackSwarm(n, numPieces int, seed int64, timeout time.Duration) (*Swa
 		}()
 	}
 
-	// Full-mesh wiring: client i dials every j < i.
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			conn, err := net.Dial("tcp", listeners[j].Addr().String())
+	// ctxErr prefers reporting the cancellation over the I/O error it
+	// provoked (shutdown closes sockets, so dials and handshakes fail
+	// with unhelpful "use of closed connection" errors).
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("wire: swarm canceled: %w", cerr)
+		}
+		return err
+	}
+
+	if tracker != nil {
+		// Announce in index order; each client dials the peers the
+		// tracker handed it (deduplicated by index pair, so a connection
+		// is dialed once no matter which side learned of it first).
+		dialed := make(map[[2]int]bool)
+		for i := 0; i < n; i++ {
+			port := listeners[i].Addr().(*net.TCPAddr).Port
+			peers, err := Announce(tracker.URL(), torrent, clients[i].peerID, port, "started")
 			if err != nil {
-				return nil, fmt.Errorf("wire: dial: %w", err)
+				return nil, ctxErr(err)
 			}
-			if _, err := clients[i].AddConn(conn, true); err != nil {
-				return nil, fmt.Errorf("wire: handshake: %w", err)
+			for _, p := range peers {
+				var pid [20]byte
+				copy(pid[:], p.PeerID)
+				j, err := peerIndexFromID(pid)
+				if err != nil {
+					continue
+				}
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				if dialed[[2]int{a, b}] {
+					continue
+				}
+				dialed[[2]int{a, b}] = true
+				conn, err := net.Dial("tcp", p.Addr)
+				if err != nil {
+					return nil, ctxErr(err)
+				}
+				if _, err := clients[i].AddConn(conn, true); err != nil {
+					return nil, ctxErr(fmt.Errorf("wire: handshake: %w", err))
+				}
+			}
+		}
+	} else {
+		// Full-mesh wiring: client i dials every j < i (the swarm sizes
+		// the paper uses are below the 35-peer cap, where the mesh is
+		// complete).
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					return nil, ctxErr(fmt.Errorf("wire: dial: %w", err))
+				}
+				if _, err := clients[i].AddConn(conn, true); err != nil {
+					return nil, ctxErr(fmt.Errorf("wire: handshake: %w", err))
+				}
 			}
 		}
 	}
@@ -111,12 +241,14 @@ func RunLoopbackSwarm(n, numPieces int, seed int64, timeout time.Duration) (*Swa
 	}
 
 	start := time.Now()
-	deadline := time.After(timeout)
-	for i := 1; i < n; i++ {
+	for i := 0; i < n; i++ {
+		if i == opt.Root {
+			continue
+		}
 		select {
 		case <-clients[i].Done():
-		case <-deadline:
-			return nil, fmt.Errorf("wire: client %d incomplete after %v", i, timeout)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("wire: client %d incomplete: %w", i, ctx.Err())
 		}
 	}
 	res := &SwarmResult{N: n, Duration: time.Since(start)}
@@ -130,4 +262,22 @@ func RunLoopbackSwarm(n, numPieces int, seed int64, timeout time.Duration) (*Swa
 		}
 	}
 	return res, nil
+}
+
+// RunLoopbackSwarm runs a full-mesh broadcast of numPieces 16 KiB
+// fragments among n clients over loopback TCP: client 0 seeds, and the
+// call returns once every client holds the full payload or ctx/timeout
+// expires.
+func RunLoopbackSwarm(ctx context.Context, n, numPieces int, seed int64, timeout time.Duration) (*SwarmResult, error) {
+	return RunSwarm(ctx, SwarmOptions{N: n, NumPieces: numPieces, Seed: seed, Timeout: timeout})
+}
+
+// RunTrackedSwarm runs a broadcast like RunLoopbackSwarm but bootstraps
+// peer discovery through a real HTTP tracker instead of static full-mesh
+// wiring: each client announces, receives its (capped, random) peer set,
+// and dials those peers. With n <= TrackerMaxPeers+1 the resulting mesh
+// is complete; beyond that, coverage per run becomes partial — exactly
+// the §II-C effect.
+func RunTrackedSwarm(ctx context.Context, n, numPieces int, seed int64, timeout time.Duration) (*SwarmResult, error) {
+	return RunSwarm(ctx, SwarmOptions{N: n, NumPieces: numPieces, Seed: seed, Timeout: timeout, Tracked: true})
 }

@@ -6,14 +6,16 @@ package wire
 // incomplete per-run edge coverage (§II-C).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
-	"time"
 )
 
 // TrackerMaxPeers is the mainline announce-response cap.
@@ -75,7 +77,7 @@ func (t *Tracker) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	peerID := q.Get("peer_id")
 	port := q.Get("port")
 	if infoHash == "" || peerID == "" || port == "" {
-		http.Error(w, "missing info_hash, peer_id or port", http.StatusBadRequest)
+		writeTrackerFailure(w, "missing info_hash, peer_id or port")
 		return
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
@@ -118,8 +120,42 @@ func (t *Tracker) handleAnnounce(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(announceResponse{Interval: 30, Peers: peers})
 }
 
+// trackerFailurePrefix opens the BEP 3 bencoded error dictionary
+// {"failure reason": <msg>} a tracker answers bad announces with.
+const trackerFailurePrefix = "d14:failure reason"
+
+// writeTrackerFailure rejects an announce the way a real tracker does:
+// HTTP 200 with a bencoded dictionary whose only key is "failure
+// reason", rather than a bare HTTP error a BitTorrent client would not
+// parse.
+func writeTrackerFailure(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "%s%d:%se", trackerFailurePrefix, len(msg), msg)
+}
+
+// parseTrackerFailure extracts the reason from a bencoded failure
+// dictionary, reporting ok=false for any other body — including a
+// truncated one, whose declared string length overruns the bytes
+// actually received.
+func parseTrackerFailure(body []byte) (string, bool) {
+	rest, found := bytes.CutPrefix(body, []byte(trackerFailurePrefix))
+	if !found {
+		return "", false
+	}
+	colon := bytes.IndexByte(rest, ':')
+	if colon < 0 {
+		return "", false
+	}
+	n, err := strconv.Atoi(string(rest[:colon]))
+	if err != nil || n < 0 || colon+1+n != len(rest)-1 || rest[len(rest)-1] != 'e' {
+		return "", false
+	}
+	return string(rest[colon+1 : colon+1+n]), true
+}
+
 // Announce registers a client with the tracker and returns the peer set
-// it was handed.
+// it was handed. A bencoded failure reason from the tracker surfaces as
+// an error carrying the reason.
 func Announce(trackerURL string, t Torrent, peerID [20]byte, port int, event string) ([]TrackerPeer, error) {
 	u, err := url.Parse(trackerURL)
 	if err != nil {
@@ -138,131 +174,19 @@ func Announce(trackerURL string, t Torrent, peerID [20]byte, port int, event str
 		return nil, err
 	}
 	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: tracker response: %w", err)
+	}
+	if reason, ok := parseTrackerFailure(body); ok {
+		return nil, fmt.Errorf("wire: tracker failure: %s", reason)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("wire: tracker returned %s", resp.Status)
 	}
 	var ar announceResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+	if err := json.Unmarshal(body, &ar); err != nil {
 		return nil, fmt.Errorf("wire: tracker response: %w", err)
 	}
 	return ar.Peers, nil
-}
-
-// RunTrackedSwarm runs a broadcast like RunLoopbackSwarm but bootstraps
-// peer discovery through a real HTTP tracker instead of static full-mesh
-// wiring: each client announces, receives its (capped, random) peer set,
-// and dials those peers. With n <= TrackerMaxPeers+1 the resulting mesh
-// is complete; beyond that, coverage per run becomes partial — exactly
-// the §II-C effect.
-func RunTrackedSwarm(n, numPieces int, seed int64, timeout time.Duration) (*SwarmResult, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("wire: need at least 2 clients, have %d", n)
-	}
-	tracker, err := NewTracker(seed)
-	if err != nil {
-		return nil, err
-	}
-	defer tracker.Close()
-
-	var torrent Torrent
-	torrent.NumPieces = numPieces
-	copy(torrent.InfoHash[:], fmt.Sprintf("tracked-bcast-%06d", numPieces%1000000))
-
-	clients := make([]*Client, n)
-	listeners := make([]net.Listener, n)
-	for i := 0; i < n; i++ {
-		clients[i] = NewClient(torrent, i, i == 0, seed+int64(i)*104729)
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		listeners[i] = l
-	}
-	defer func() {
-		for _, l := range listeners {
-			l.Close()
-		}
-		for _, c := range clients {
-			c.Close()
-		}
-	}()
-	for i := 0; i < n; i++ {
-		i := i
-		go func() {
-			for {
-				conn, err := listeners[i].Accept()
-				if err != nil {
-					return
-				}
-				go func() {
-					if _, err := clients[i].AddConn(conn, false); err != nil {
-						conn.Close()
-					}
-				}()
-			}
-		}()
-	}
-
-	// Announce in index order; each client dials the peers the tracker
-	// handed it (connections are deduplicated by the dial direction:
-	// only dial peers that announced earlier, which we detect by index).
-	dialed := make(map[[2]int]bool)
-	for i := 0; i < n; i++ {
-		port := listeners[i].Addr().(*net.TCPAddr).Port
-		peers, err := Announce(tracker.URL(), torrent, clients[i].peerID, port, "started")
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range peers {
-			var pid [20]byte
-			copy(pid[:], p.PeerID)
-			j, err := peerIndexFromID(pid)
-			if err != nil {
-				continue
-			}
-			a, b := i, j
-			if a > b {
-				a, b = b, a
-			}
-			if dialed[[2]int{a, b}] {
-				continue
-			}
-			dialed[[2]int{a, b}] = true
-			conn, err := net.Dial("tcp", p.Addr)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := clients[i].AddConn(conn, true); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	stop := make(chan struct{})
-	defer close(stop)
-	for _, c := range clients {
-		go c.chokerLoop(stop)
-		c.rechoke()
-	}
-
-	start := time.Now()
-	deadline := time.After(timeout)
-	for i := 1; i < n; i++ {
-		select {
-		case <-clients[i].Done():
-		case <-deadline:
-			return nil, fmt.Errorf("wire: tracked client %d incomplete after %v", i, timeout)
-		}
-	}
-	res := &SwarmResult{N: n, Duration: time.Since(start)}
-	res.Fragments = make([][]int, n)
-	for i := 0; i < n; i++ {
-		res.Fragments[i] = make([]int, n)
-		for from, count := range clients[i].Counts() {
-			if from >= 0 && from < n {
-				res.Fragments[i][from] = count
-			}
-		}
-	}
-	return res, nil
 }

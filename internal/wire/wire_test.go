@@ -2,9 +2,14 @@ package wire
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -172,7 +177,7 @@ func TestTwoPeerTransferOverPipe(t *testing.T) {
 
 func TestLoopbackSwarmBroadcast(t *testing.T) {
 	const n, pieces = 6, 96
-	res, err := RunLoopbackSwarm(n, pieces, 1, 30*time.Second)
+	res, err := RunLoopbackSwarm(context.Background(), n, pieces, 1, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +210,17 @@ func TestLoopbackSwarmBroadcast(t *testing.T) {
 }
 
 func TestLoopbackSwarmInputValidation(t *testing.T) {
-	if _, err := RunLoopbackSwarm(1, 10, 1, time.Second); err == nil {
+	if _, err := RunLoopbackSwarm(context.Background(), 1, 10, 1, time.Second); err == nil {
 		t.Fatal("single-client swarm accepted")
 	}
-	if _, err := RunLoopbackSwarm(2, 0, 1, time.Second); err == nil {
+	if _, err := RunLoopbackSwarm(context.Background(), 2, 0, 1, time.Second); err == nil {
 		t.Fatal("empty torrent accepted")
+	}
+	if _, err := RunSwarm(context.Background(), SwarmOptions{N: 3, NumPieces: 4, Root: 3, Timeout: time.Second}); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := RunSwarm(context.Background(), SwarmOptions{N: 3, NumPieces: 4, Rates: make([][]float64, 2), Timeout: time.Second}); err == nil {
+		t.Fatal("misshapen rate matrix accepted")
 	}
 }
 
@@ -324,6 +335,9 @@ func TestTrackerSeparatesTorrents(t *testing.T) {
 }
 
 func TestTrackerRejectsBadAnnounce(t *testing.T) {
+	// A bad announce must come back as a proper bencoded failure-reason
+	// dictionary over HTTP 200 (the BEP 3 shape a BitTorrent client
+	// parses), not a bare HTTP error.
 	tr, err := NewTracker(3)
 	if err != nil {
 		t.Fatal(err)
@@ -333,15 +347,49 @@ func TestTrackerRejectsBadAnnounce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad announce returned %d, want 400", resp.StatusCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bad announce returned HTTP %d, want 200 with a bencoded failure", resp.StatusCode)
+	}
+	reason, ok := parseTrackerFailure(body)
+	if !ok {
+		t.Fatalf("bad announce body %q is not a bencoded failure dictionary", body)
+	}
+	if !strings.Contains(reason, "info_hash") {
+		t.Fatalf("failure reason %q does not name the missing parameters", reason)
+	}
+	// Announce must surface the reason as an error, not decode garbage.
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeTrackerFailure(w, "swarm is full")
+	}))
+	defer fail.Close()
+	var torrent Torrent
+	if _, err := Announce(fail.URL, torrent, [20]byte{}, 0, ""); err == nil {
+		t.Fatal("Announce swallowed a tracker failure")
+	} else if !strings.Contains(err.Error(), "swarm is full") {
+		t.Fatalf("Announce error %q does not carry the tracker's reason", err)
+	}
+}
+
+func TestParseTrackerFailure(t *testing.T) {
+	if r, ok := parseTrackerFailure([]byte("d14:failure reason8:nope")); ok || r != "" {
+		t.Fatal("truncated failure parsed")
+	}
+	if r, ok := parseTrackerFailure([]byte("d14:failure reason4:nopee")); !ok || r != "nope" {
+		t.Fatalf("parse = %q, %v", r, ok)
+	}
+	if _, ok := parseTrackerFailure([]byte(`{"interval":30}`)); ok {
+		t.Fatal("JSON body parsed as failure")
 	}
 }
 
 func TestTrackedSwarmBroadcast(t *testing.T) {
 	const n, pieces = 6, 64
-	res, err := RunTrackedSwarm(n, pieces, 5, 30*time.Second)
+	res, err := RunTrackedSwarm(context.Background(), n, pieces, 5, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,5 +461,60 @@ func TestSwarmSurvivesConnectionFailures(t *testing.T) {
 	}
 	for _, c := range clients {
 		c.Close()
+	}
+}
+
+// TestSwarmDeadlineFailsCleanly: a deadline that cannot possibly be met
+// must fail the swarm promptly — and the failure must name the
+// cancellation rather than hanging until some client finishes.
+func TestSwarmDeadlineFailsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// Pace every pair at ~1 piece/second so the swarm cannot finish
+	// inside the deadline no matter how fast loopback is.
+	rates := make([][]float64, 4)
+	for i := range rates {
+		rates[i] = make([]float64, 4)
+		for j := range rates[i] {
+			if i != j {
+				rates[i][j] = BlockSize
+			}
+		}
+	}
+	start := time.Now()
+	_, err := RunSwarm(ctx, SwarmOptions{N: 4, NumPieces: 64, Seed: 1, Timeout: time.Minute, Rates: rates})
+	if err == nil {
+		t.Fatal("impossible deadline produced a result")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline failure took %v — the watchdog did not fire", elapsed)
+	}
+	// Teardown must not leak the swarm's goroutines (accept loops,
+	// writers, pumps). Allow scheduling slack before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after teardown", before, runtime.NumGoroutine())
+}
+
+// TestClientCloseIdempotent: Close must be safe to call repeatedly —
+// the swarm teardown path and the watchdog can race to it — and a
+// closed client must refuse new connections instead of leaking them.
+func TestClientCloseIdempotent(t *testing.T) {
+	torrent := Torrent{NumPieces: 4}
+	copy(torrent.InfoHash[:], "close-test----------")
+	c := NewClient(torrent, 0, true, 1)
+	c.Close()
+	c.Close() // must not panic or double-close channels
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if _, err := c.AddConn(a, false); err == nil {
+		t.Fatal("closed client accepted a connection")
 	}
 }

@@ -40,6 +40,21 @@
 //	opts := repro.DefaultOptions().WithWorkers(4)
 //	res, err := repro.Run(dataset, opts)
 //
+// # Measurement backends
+//
+// The measurement phase is pluggable (internal/substrate): the default
+// "sim" backend replays broadcasts on the discrete-event simulator, and
+// the "wire" backend runs each iteration as a real BitTorrent swarm over
+// loopback TCP, pacing each peer pair at the scenario topology's path
+// bandwidth. Both feed the same merger, clustering and scoring:
+//
+//	opts := repro.DefaultOptions().WithBackend("wire").WithIterations(3)
+//	res, err := repro.Run(dataset, opts)
+//
+// Backends() lists what is registered; wire results are reproducible in
+// distribution, not byte-for-byte, and wire cannot replay Dynamics
+// timelines or BackgroundFlows (Options.Validate rejects the combination).
+//
 // # Custom scenarios
 //
 // The method is topology-agnostic, and so is the API: a scenario is data,
@@ -141,6 +156,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/scenario"
+	"repro/internal/substrate"
 	"repro/internal/topology"
 )
 
@@ -190,6 +206,17 @@ func ParallelOptions(workers int) Options {
 // order.
 func Datasets() []string {
 	return scenario.Names()
+}
+
+// Backends lists the registered measurement substrates, sorted: "sim"
+// (the discrete-event simulator, the default) and "wire" (real loopback
+// TCP swarms speaking the BitTorrent wire protocol). Select one with
+// Options.Backend / WithBackend, a campaign's backend axis, or `bttomo
+// -backend`. The wire backend measures real sockets, so its results are
+// reproducible in distribution but not byte-for-byte; it cannot replay
+// Dynamics timelines or BackgroundFlows.
+func Backends() []string {
+	return substrate.Names()
 }
 
 // NewDataset compiles a registered scenario (fresh simulator state). The
