@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke ci
 
 all: build
 
@@ -141,4 +141,34 @@ wire-smoke:
 	timeout 60 $(GO) run ./cmd/campaign status -out /tmp/bttomo_wire | grep -q 'backends: wire 2'
 	@rm -rf /tmp/bttomo_wire
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke bench
+# obs-smoke asserts the telemetry layer end to end: a traced grid run
+# must write one parseable trace JSONL per computed cell without moving
+# the serve ETag's file set, `campaign status -v` must print the phase
+# breakdown aggregated from them, and a -pprof serve over the archive
+# must expose every instrumented layer's metric families on /metrics
+# plus a live pprof index.
+obs-smoke:
+	rm -rf /tmp/bttomo_obs /tmp/bttomo_obs_bin
+	$(GO) build -o /tmp/bttomo_obs_bin ./cmd/campaign
+	/tmp/bttomo_obs_bin run -spec testdata/campaigns/grid.json -out /tmp/bttomo_obs -jobs 2 -trace /tmp/bttomo_obs/traces
+	test "$$(ls /tmp/bttomo_obs/traces/*.jsonl | wc -l)" -eq 8
+	$(GO) run ./cmd/jsonlcheck /tmp/bttomo_obs/traces/*.jsonl
+	/tmp/bttomo_obs_bin status -out /tmp/bttomo_obs -v >/tmp/bttomo_obs_status.txt
+	grep -q 'phase breakdown (8 traced runs)' /tmp/bttomo_obs_status.txt
+	grep -q 'measure' /tmp/bttomo_obs_status.txt
+	grep -q 'MEAN' /tmp/bttomo_obs_status.txt
+	/tmp/bttomo_obs_bin serve -out /tmp/bttomo_obs -addr 127.0.0.1:8178 -pprof & \
+	pid=$$!; sleep 1; st=0; \
+	curl -sf http://127.0.0.1:8178/status >/dev/null || st=1; \
+	curl -sf http://127.0.0.1:8178/metrics >/tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q '^repro_core_iterations_total' /tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q '^repro_substrate_clone_seconds_total' /tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q '^repro_campaign_cells_total' /tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q '^repro_fleet_ledger_appends_total' /tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q '^repro_wire_handshakes_total' /tmp/bttomo_obs_metrics.txt || st=1; \
+	grep -q 'repro_http_requests_total{endpoint="status"} 1' /tmp/bttomo_obs_metrics.txt || st=1; \
+	curl -sf http://127.0.0.1:8178/debug/pprof/ >/dev/null || st=1; \
+	kill $$pid; test $$st -eq 0
+	@rm -rf /tmp/bttomo_obs /tmp/bttomo_obs_bin /tmp/bttomo_obs_status.txt /tmp/bttomo_obs_metrics.txt
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke bench

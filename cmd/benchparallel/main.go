@@ -43,6 +43,14 @@ type Report struct {
 	Identical bool    `json:"identical"`
 	NMI       float64 `json:"nmi"`
 	SimSec    float64 `json:"simulated_seconds"`
+	// SequentialPhases and ParallelPhases break each timed run down by
+	// pipeline phase (measure, clone, merge, cluster, NMI), so a speedup
+	// regression in the trajectory is attributable: a merge that grew, a
+	// clone that got expensive, or the solve itself. In the parallel run
+	// MeasureSeconds sums across workers and exceeds wall-clock; clone
+	// time is a subset of measure time.
+	SequentialPhases repro.PhaseTimings `json:"sequential_phases"`
+	ParallelPhases   repro.PhaseTimings `json:"parallel_phases"`
 
 	// The dynamics block times the same comparison on a DriftSites
 	// scenario with a non-empty event timeline (link drift, churn,
@@ -55,6 +63,10 @@ type Report struct {
 	DynamicsSpeedup           float64 `json:"dynamics_speedup"`
 	DynamicsIdentical         bool    `json:"dynamics_identical"`
 	DynamicsNMI               float64 `json:"dynamics_nmi"`
+	// The dynamics phase blocks additionally attribute the per-iteration
+	// timeline replay, which lives inside the clone phase.
+	DynamicsSequentialPhases repro.PhaseTimings `json:"dynamics_sequential_phases"`
+	DynamicsParallelPhases   repro.PhaseTimings `json:"dynamics_parallel_phases"`
 
 	// The campaign block times the sweep orchestrator on a small grid:
 	// one cold invocation that computes and archives every cell at the
@@ -135,6 +147,8 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		Identical:         identical(res1, resN),
 		NMI:               resN.NMI,
 		SimSec:            resN.TotalMeasurementTime,
+		SequentialPhases:  res1.Phases,
+		ParallelPhases:    resN.Phases,
 
 		DynamicsScenario:          driftSpec.Name,
 		DynamicsEvents:            len(driftSpec.Dynamics),
@@ -142,6 +156,8 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		DynamicsParallelSeconds:   dtimeN,
 		DynamicsIdentical:         identical(dres1, dresN),
 		DynamicsNMI:               dresN.NMI,
+		DynamicsSequentialPhases:  dres1.Phases,
+		DynamicsParallelPhases:    dresN.Phases,
 
 		CampaignRuns:        camp.runs,
 		CampaignJobs:        workers,
@@ -172,6 +188,9 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 		}
 		fmt.Printf("%s: %d hosts, %d iterations at %.0f%% payload: %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
 			dataset, rep.Hosts, iters, scale*100, time1, timeN, workers, rep.Speedup, rep.Identical)
+		p := rep.ParallelPhases
+		fmt.Printf("  parallel phases: measure %.2fs across workers (clone %.2fs), merge %.2fs, cluster %.2fs, nmi %.2fs\n",
+			p.MeasureSeconds, p.CloneSeconds, p.MergeSeconds, p.ClusterSeconds, p.NMISeconds)
 		fmt.Printf("%s (%d dynamics events): %.2fs sequential, %.2fs with %d workers (%.2fx), identical=%v\n",
 			rep.DynamicsScenario, rep.DynamicsEvents, dtime1, dtimeN, workers, rep.DynamicsSpeedup, rep.DynamicsIdentical)
 		fmt.Printf("campaign (%d runs, %d jobs): %.2fs cold, %.2fs warm (%d cache hits), identical=%v\n",

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	campaign run    -spec grid.json -out runs/grid [-jobs N] [-resume] [-fleet -owner X -lease-ttl D]
+//	campaign run    -spec grid.json -out runs/grid [-jobs N] [-resume] [-fleet -owner X -lease-ttl D] [-trace DIR] [-metrics-addr host:port]
 //	campaign run    -spec grid.json -dry-run [-out runs/grid]   # audit the grid (keys + hit/miss)
-//	campaign status -out runs/grid [-json]                      # live fleet progress
-//	campaign serve  -out runs/grid [-addr host:port]            # HTTP query service
+//	campaign status -out runs/grid [-json] [-v]                 # live fleet progress (+ phase breakdown)
+//	campaign serve  -out runs/grid [-addr host:port] [-pprof]   # HTTP query service
 //	campaign diff   -out runs/grid -base runs/prev              # regression report (exit 1 on regressions)
 //	campaign gc     -out runs/grid [-spec grid.json] [-max-age D] [-max-runs N] [-dry-run]
 //
@@ -22,14 +22,27 @@
 // its hit/miss status against that archive, so a resume can be audited
 // before spending compute.
 //
+// run is also where observability switches on: -trace DIR writes one
+// phase-trace JSONL per computed cell (use DIR = <out>/traces so
+// `campaign status` finds them), and -metrics-addr starts a live
+// /metrics + /debug/pprof/ listener for the duration of the run. Both
+// are inert to the science: traces and metrics never enter content
+// keys, archived documents or the serve ETag.
+//
 // status fuses the runs/index.json ledger, leases/ and per-owner
 // manifests into live progress: how much of the grid is archived, who
-// executed what, what is in flight, which leases went stale.
+// executed what, what is in flight, which leases went stale. With -v it
+// adds per-backend and per-owner mean run durations from the ledger,
+// and when <out>/traces holds phase traces it prints the aggregated
+// phase breakdown — where the wall-clock actually went.
 //
 // serve exposes the same read path over HTTP (GET /status, /runs,
 // /runs/{key}, /marginals/{axis}, /diff?base=) with ETag/If-None-Match
 // keyed on the ledger, so dashboards and CI can poll cheaply while a
 // fleet is still writing. "/marginals/intensity" is the dynamics axis.
+// GET /metrics exposes process telemetry in Prometheus text format
+// (never cached), and -pprof additionally mounts Go's profiling
+// handlers under /debug/pprof/.
 //
 // diff compares two archives by content key: shared keys must hold
 // byte-identical documents (the bit-identity contract), so any
@@ -47,6 +60,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -56,6 +70,7 @@ import (
 	"repro"
 	"repro/internal/archive"
 	"repro/internal/archive/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -136,6 +151,8 @@ func cmdRun(args []string) error {
 	fleetRun := fs.Bool("fleet", false, "join the fleet sharing -out: claim runs via lease files and cooperate with other -fleet processes")
 	owner := fs.String("owner", "", "fleet worker id for leases and manifests/ (default host-pid)")
 	leaseTTL := fs.Duration("lease-ttl", time.Minute, "fleet lease staleness horizon; a worker silent this long is presumed crashed and its runs reclaimed")
+	traceDir := fs.String("trace", "", "write one phase-trace JSONL per computed cell into this directory (use <out>/traces so `campaign status` aggregates them)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics and /debug/pprof/ on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,6 +170,11 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("run: -out is required (or use -dry-run)")
 	}
 	fmt.Printf("campaign %s: %d scenarios\n", c.Name, len(c.Scenarios))
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr); err != nil {
+			return err
+		}
+	}
 	opts := repro.CampaignOptions{
 		OutDir:   *out,
 		Jobs:     *jobs,
@@ -161,6 +183,7 @@ func cmdRun(args []string) error {
 		Fleet:    *fleetRun,
 		Owner:    *owner,
 		LeaseTTL: *leaseTTL,
+		TraceDir: *traceDir,
 	}
 	var res *repro.CampaignOutcome
 	if *fleetRun {
@@ -183,6 +206,30 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("manifest: %s\naggregate: %s\n", res.ManifestPath, res.CSVPath)
+	return nil
+}
+
+// serveMetrics starts the debug listener a long `campaign run` can be
+// watched through: live /metrics plus Go's profiling handlers. It is a
+// diagnostic sidecar for this one process, so pprof is unconditionally
+// mounted (unlike `campaign serve`, where it is opt-in) and the
+// listener dies with the run.
+func serveMetrics(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", telemetry.Default().Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	fmt.Printf("metrics on http://%s/metrics (pprof: /debug/pprof/)\n", l.Addr())
+	go func() {
+		_ = http.Serve(l, mux) // dies with the process
+	}()
 	return nil
 }
 
@@ -240,6 +287,7 @@ func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
 	out := outFlag(fs)
 	asJSON := fs.Bool("json", false, "print the raw status document instead of the summary")
+	verbose := fs.Bool("v", false, "add per-backend and per-owner mean run durations from the ledger")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,23 +319,47 @@ func cmdStatus(args []string) error {
 			names = append(names, b)
 		}
 		sort.Strings(names)
-		parts := make([]string, len(names))
-		for i, b := range names {
-			parts[i] = fmt.Sprintf("%s %d", b, st.Backends[b])
+		if *verbose {
+			tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "BACKEND\tEXECUTED\tWALL\tMEAN")
+			for _, b := range names {
+				fmt.Fprintf(tw, "%s\t%d\t%.2fs\t%.3fs\n", b, st.Backends[b],
+					st.BackendSeconds[b], st.BackendSeconds[b]/float64(st.Backends[b]))
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		} else {
+			parts := make([]string, len(names))
+			for i, b := range names {
+				parts[i] = fmt.Sprintf("%s %d", b, st.Backends[b])
+			}
+			fmt.Printf("backends: %s\n", strings.Join(parts, ", "))
 		}
-		fmt.Printf("backends: %s\n", strings.Join(parts, ", "))
 	}
 	fmt.Printf("in flight: %d leases (%d stale)\nfinalized: %v\n", st.InFlight, st.StaleLeases, st.Finalized)
 	if len(st.Owners) > 0 {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "OWNER\tEXECUTED\tWALL\tMANIFEST")
+		header := "OWNER\tEXECUTED\tWALL\tMANIFEST"
+		if *verbose {
+			header = "OWNER\tEXECUTED\tWALL\tMEAN\tMANIFEST"
+		}
+		fmt.Fprintln(tw, header)
 		for _, o := range st.Owners {
 			man := "-"
 			if o.Manifest != nil {
 				man = fmt.Sprintf("%d runs: %d hit / %d miss / %d dup / %d failed",
 					o.Manifest.Runs, o.Manifest.Hits, o.Manifest.Misses, o.Manifest.Dups, o.Manifest.Failures)
 			}
-			fmt.Fprintf(tw, "%s\t%d\t%.2fs\t%s\n", o.Owner, o.Executed, o.WallSeconds, man)
+			if *verbose {
+				mean := "-"
+				if o.Executed > 0 {
+					mean = fmt.Sprintf("%.3fs", o.WallSeconds/float64(o.Executed))
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%.2fs\t%s\t%s\n", o.Owner, o.Executed, o.WallSeconds, mean, man)
+			} else {
+				fmt.Fprintf(tw, "%s\t%d\t%.2fs\t%s\n", o.Owner, o.Executed, o.WallSeconds, man)
+			}
 		}
 		if err := tw.Flush(); err != nil {
 			return err
@@ -300,13 +372,42 @@ func cmdStatus(args []string) error {
 		}
 		fmt.Printf("lease %s… held by %s (epoch %d, %s)\n", l.Key[:12], l.Owner, l.Epoch, state)
 	}
-	return nil
+	return printPhaseBreakdown(store)
+}
+
+// printPhaseBreakdown aggregates <out>/traces into the per-phase time
+// table — where a campaign's wall-clock actually went. Silent when no
+// traces were recorded (the common case: -trace is opt-in).
+func printPhaseBreakdown(store *repro.Archive) error {
+	tr, err := store.Traces()
+	if err != nil {
+		return err
+	}
+	if tr.Files == 0 {
+		return nil
+	}
+	var total float64
+	for _, p := range tr.Phases {
+		total += p.Seconds
+	}
+	fmt.Printf("\nphase breakdown (%d traced runs):\n", tr.Files)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PHASE\tSPANS\tSECONDS\tSHARE")
+	for _, p := range tr.Phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * p.Seconds / total
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3fs\t%.1f%%\n", p.Phase, p.Spans, p.Seconds, share)
+	}
+	return tw.Flush()
 }
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("campaign serve", flag.ExitOnError)
 	out := outFlag(fs)
 	addr := fs.String("addr", "127.0.0.1:8177", "listen address (host:port; :0 picks a free port)")
+	withPprof := fs.Bool("pprof", false, "mount Go's profiling handlers under /debug/pprof/ (off by default: they expose process internals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -318,9 +419,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on http://%s (endpoints: /status /runs /runs/{key} /marginals/{axis} /diff?base=)\n",
-		store.Dir(), l.Addr())
-	return http.Serve(l, serve.Handler(store))
+	endpoints := "/status /runs /runs/{key} /marginals/{axis} /diff?base= /metrics"
+	if *withPprof {
+		endpoints += " /debug/pprof/"
+	}
+	fmt.Printf("serving %s on http://%s (endpoints: %s)\n", store.Dir(), l.Addr(), endpoints)
+	return http.Serve(l, serve.NewHandler(store, serve.Options{Pprof: *withPprof}))
 }
 
 func cmdDiff(args []string) error {

@@ -1,0 +1,66 @@
+// Command jsonlcheck validates trace JSONL files: every line must be a
+// well-formed JSON object, and every file must contain at least one
+// span (an object with a "name") after its header line. It is the
+// strict complement to the tolerant readers — queries skip torn lines
+// by design, so CI needs a checker that refuses them.
+//
+// Usage:
+//
+//	jsonlcheck traces/*.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck FILE.jsonl ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "jsonlcheck: %s: %v\n", path, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("jsonlcheck: %d files ok\n", len(os.Args)-1)
+}
+
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line, spans := 0, 0
+	for sc.Scan() {
+		line++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if name, ok := obj["name"].(string); ok && name != "" {
+			spans++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("empty file")
+	}
+	if spans == 0 {
+		return fmt.Errorf("%d lines but no spans", line)
+	}
+	return nil
+}

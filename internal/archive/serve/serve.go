@@ -2,7 +2,7 @@
 // query service dashboards, CI regression gates and fleet operators
 // poll while (and after) a fleet writes the directory.
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (all GET, all JSON unless noted):
 //
 //	/            endpoint index
 //	/status      live fleet progress (ledger + leases + manifests)
@@ -11,38 +11,70 @@
 //	/marginals/{axis}  per-axis NMI/Q/timing curve ("dynamics",
 //	             "iterations", ...; "intensity" aliases "dynamics")
 //	/diff?base=DIR     regression report against another archive
+//	/metrics     process telemetry, Prometheus text format (no ETag:
+//	             metrics change continuously and are never cached)
+//	/debug/pprof/*     Go profiling handlers, when Options.Pprof is set
 //
-// Every response carries an ETag derived from the archive's Stamp() —
-// the sizes and mtimes of the append-only ledger and manifests, which
-// change exactly when archive state changes. A poller that replays the
-// ETag via If-None-Match gets 304 Not Modified until a new completion
-// lands, so heavy read traffic against an idle archive costs a handful
-// of stat calls per poll, no document reads, and responses are
-// byte-stable between state changes. Lease heartbeats deliberately do
-// not enter the ETag: they refresh every TTL/3 without changing any
-// completed result.
+// Every JSON response carries an ETag derived from the archive's
+// Stamp() — the sizes and mtimes of the append-only ledger and
+// manifests, which change exactly when archive state changes. A poller
+// that replays the ETag via If-None-Match gets 304 Not Modified until a
+// new completion lands, so heavy read traffic against an idle archive
+// costs a handful of stat calls per poll, no document reads, and
+// responses are byte-stable between state changes. Lease heartbeats
+// deliberately do not enter the ETag: they refresh every TTL/3 without
+// changing any completed result. Trace files under traces/ are equally
+// excluded — telemetry output must never churn the ETag.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"repro/internal/archive"
+	"repro/internal/telemetry"
 )
 
-// Handler returns the HTTP handler serving the store's read path.
+// Options configures the optional faces of the service.
+type Options struct {
+	// Metrics is the registry /metrics exposes; nil serves the
+	// process-wide default registry (which is where every instrumented
+	// layer — core, substrate, wire, fleet, campaign — registers).
+	Metrics *telemetry.Registry
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: profiling endpoints expose process
+	// internals and cost real CPU when scraped, so they are opt-in.
+	Pprof bool
+}
+
+// Handler returns the HTTP handler serving the store's read path with
+// default options (metrics on, pprof off).
 func Handler(st *archive.Store) http.Handler {
+	return NewHandler(st, Options{})
+}
+
+// NewHandler returns the HTTP handler serving the store's read path.
+func NewHandler(st *archive.Store, opt Options) http.Handler {
+	reg := opt.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /{$}", counted("index", func(w http.ResponseWriter, r *http.Request) {
+		endpoints := []string{"/status", "/runs", "/runs/{key}", "/marginals/{axis}", "/diff?base=DIR", "/metrics"}
+		if opt.Pprof {
+			endpoints = append(endpoints, "/debug/pprof/")
+		}
 		respond(w, r, st.Stamp(), map[string]any{
 			"archive":   st.Dir(),
-			"endpoints": []string{"/status", "/runs", "/runs/{key}", "/marginals/{axis}", "/diff?base=DIR"},
+			"endpoints": endpoints,
 			"axes":      archive.MarginalAxes(),
 		})
-	})
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /status", counted("status", func(w http.ResponseWriter, r *http.Request) {
 		stamp := st.Stamp()
 		s, err := st.Status()
 		if err != nil {
@@ -50,8 +82,8 @@ func Handler(st *archive.Store) http.Handler {
 			return
 		}
 		respond(w, r, stamp, s)
-	})
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /runs", counted("runs", func(w http.ResponseWriter, r *http.Request) {
 		stamp := st.Stamp()
 		runs, err := st.Runs()
 		if err != nil {
@@ -59,8 +91,8 @@ func Handler(st *archive.Store) http.Handler {
 			return
 		}
 		respond(w, r, stamp, map[string]any{"runs": len(runs), "entries": runs})
-	})
-	mux.HandleFunc("GET /runs/{key}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /runs/{key}", counted("run", func(w http.ResponseWriter, r *http.Request) {
 		stamp := st.Stamp()
 		detail, err := st.Get(r.PathValue("key"))
 		if err != nil {
@@ -72,8 +104,8 @@ func Handler(st *archive.Store) http.Handler {
 			return
 		}
 		respond(w, r, stamp, detail)
-	})
-	mux.HandleFunc("GET /marginals/{axis}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /marginals/{axis}", counted("marginals", func(w http.ResponseWriter, r *http.Request) {
 		stamp := st.Stamp()
 		m, err := st.Marginals(r.PathValue("axis"))
 		if err != nil {
@@ -81,8 +113,8 @@ func Handler(st *archive.Store) http.Handler {
 			return
 		}
 		respond(w, r, stamp, m)
-	})
-	mux.HandleFunc("GET /diff", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /diff", counted("diff", func(w http.ResponseWriter, r *http.Request) {
 		base := r.URL.Query().Get("base")
 		if base == "" {
 			http.Error(w, "diff: query parameter base=DIR is required", http.StatusBadRequest)
@@ -101,8 +133,30 @@ func Handler(st *archive.Store) http.Handler {
 			return
 		}
 		respond(w, r, stamp, rep)
-	})
+	}))
+	// /metrics is deliberately outside the ETag/304 discipline: counters
+	// move with every scrape-worthy event, and Prometheus clients expect
+	// a fresh body each poll.
+	metricsHandler := reg.Handler()
+	mux.Handle("GET /metrics", counted("metrics", metricsHandler.ServeHTTP))
+	if opt.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// counted wraps a handler with the per-endpoint request counter.
+func counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c := telemetry.Default().Counter("repro_http_requests_total",
+		"archive-service requests served, by endpoint", telemetry.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
 }
 
 // respond writes v as indented JSON with the stamp-derived ETag,

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -182,7 +183,66 @@ func TestIndexEndpoint(t *testing.T) {
 	if len(idx.Endpoints) == 0 || len(idx.Axes) == 0 {
 		t.Fatalf("index empty: %+v", idx)
 	}
+	if !slices.Contains(idx.Endpoints, "/metrics") {
+		t.Fatalf("index does not advertise /metrics: %v", idx.Endpoints)
+	}
 	if rec := get(t, h, "/nonsense", nil, nil); rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown path: want 404, got %d", rec.Code)
+	}
+}
+
+// The campaign that servedArchive executes instruments the core and
+// campaign layers through the process-wide registry, so /metrics must
+// expose those families — plus the service's own request counter — in
+// Prometheus text format, outside the ETag discipline.
+func TestMetricsEndpoint(t *testing.T) {
+	_, h := servedArchive(t)
+	get(t, h, "/status", nil, nil) // populate the request counter
+	rec := get(t, h, "/metrics", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type: %q", ct)
+	}
+	if rec.Header().Get("ETag") != "" {
+		t.Fatal("/metrics must not carry an ETag: it changes on every event")
+	}
+	body := rec.Body.String()
+	for _, family := range []string{
+		"repro_campaign_cells_total",
+		"repro_core_iterations_total",
+		`repro_http_requests_total{endpoint="status"}`,
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing %s\n%s", family, body)
+		}
+	}
+}
+
+// pprof is opt-in: absent by default, mounted under /debug/pprof/ when
+// Options.Pprof is set.
+func TestPprofGate(t *testing.T) {
+	dir, h := servedArchive(t)
+	if rec := get(t, h, "/debug/pprof/", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: %d", rec.Code)
+	}
+	st, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := NewHandler(st, Options{Pprof: true})
+	rec := get(t, hp, "/debug/pprof/", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with Pprof on: %d", rec.Code)
+	}
+	var idx struct {
+		Endpoints []string `json:"endpoints"`
+	}
+	if rec := get(t, hp, "/", nil, &idx); rec.Code != http.StatusOK {
+		t.Fatalf("/: %d", rec.Code)
+	}
+	if !slices.Contains(idx.Endpoints, "/debug/pprof/") {
+		t.Fatalf("pprof-enabled index does not advertise it: %v", idx.Endpoints)
 	}
 }

@@ -45,6 +45,10 @@ type Status struct {
 	// by pre-backend ledgers count under "sim", the only backend that
 	// existed then).
 	Backends map[string]int `json:"backends,omitempty"`
+	// BackendSeconds sums the ledger's per-run wall-clock per substrate
+	// (same exactly-once discipline), so per-backend mean run durations
+	// are BackendSeconds[b] / Backends[b].
+	BackendSeconds map[string]float64 `json:"backend_seconds,omitempty"`
 	// Owners is the per-worker view, sorted by owner id.
 	Owners []OwnerStatus `json:"owners,omitempty"`
 	// Leases lists every current lease, sorted by key.
@@ -116,8 +120,10 @@ func (s *Store) Status() (*Status, error) {
 		}
 		if st.Backends == nil {
 			st.Backends = make(map[string]int)
+			st.BackendSeconds = make(map[string]float64)
 		}
 		st.Backends[backend]++
+		st.BackendSeconds[backend] += e.WallSeconds
 		if e.Owner == "" {
 			continue
 		}

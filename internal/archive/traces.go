@@ -1,0 +1,86 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+)
+
+// TracesDirName is the archive subdirectory `campaign run -trace` writes
+// per-run phase traces into (one <key>.jsonl per computed run). Traces
+// are observability output: Stamp() — and therefore the HTTP service's
+// ETag — ignores them by construction, since its change detector stats
+// an explicit file list that a traces/ subdirectory is not on.
+const TracesDirName = "traces"
+
+func (s *Store) tracesDir() string { return filepath.Join(s.dir, TracesDirName) }
+
+// PhaseStat aggregates one phase name across every trace file.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Spans   int     `json:"spans"`
+	Seconds float64 `json:"seconds"`
+}
+
+// TraceSummary is the archive's aggregated phase breakdown.
+type TraceSummary struct {
+	// Files counts the trace files read.
+	Files int `json:"files"`
+	// Phases sums span durations by phase name, sorted by total seconds
+	// descending (ties by name) — the order a profile is read in.
+	Phases []PhaseStat `json:"phases,omitempty"`
+}
+
+// Traces aggregates every traces/<key>.jsonl into a phase breakdown.
+// A missing traces directory is an empty summary, not an error, and
+// unreadable or torn files degrade to their parseable prefix — the
+// read-path discipline every other query follows.
+func (s *Store) Traces() (*TraceSummary, error) {
+	sum := &TraceSummary{}
+	dir, err := os.ReadDir(s.tracesDir())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return sum, nil
+		}
+		return nil, err
+	}
+	totals := make(map[string]PhaseStat)
+	for _, d := range dir {
+		key, ok := strings.CutSuffix(d.Name(), ".jsonl")
+		if !ok || d.IsDir() || !fleet.IsArchiveKey(key) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.tracesDir(), d.Name()))
+		if err != nil {
+			continue
+		}
+		spans, err := telemetry.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		sum.Files++
+		for _, sp := range spans {
+			t := totals[sp.Name]
+			t.Phase = sp.Name
+			t.Spans++
+			t.Seconds += sp.Seconds
+			totals[sp.Name] = t
+		}
+	}
+	for _, t := range totals {
+		sum.Phases = append(sum.Phases, t)
+	}
+	sort.Slice(sum.Phases, func(i, j int) bool {
+		a, b := sum.Phases[i], sum.Phases[j]
+		if a.Seconds != b.Seconds {
+			return a.Seconds > b.Seconds
+		}
+		return a.Phase < b.Phase
+	})
+	return sum, nil
+}

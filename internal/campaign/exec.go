@@ -15,6 +15,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // ExecOptions configures one campaign invocation.
@@ -51,6 +52,14 @@ type ExecOptions struct {
 	// has not been heartbeat-refreshed within the TTL is presumed crashed
 	// and is reclaimed by another worker. <= 0 uses fleet.DefaultTTL.
 	LeaseTTL time.Duration
+	// TraceDir, when non-empty, writes one phase-trace JSONL file per
+	// computed cell to TraceDir/<key>.jsonl: a header line with the
+	// run's identity and phase-timing summary, then one span per line.
+	// Only misses produce traces (hits spent no phase time). Telemetry
+	// is observability only — trace output never enters archives,
+	// aggregates or content keys, and the archive's Stamp()/ETag change
+	// detector ignores it by construction.
+	TraceDir string
 }
 
 // Manifest records one campaign invocation: every cell's key, cache
@@ -261,6 +270,9 @@ func Execute(s *Spec, opt ExecOptions) (*Outcome, error) {
 		if e.Status == "done" {
 			e.Cache = "dup"
 		}
+		if e.Status == "done" {
+			mCellsDup.Inc()
+		}
 		x.entries[i] = e
 		x.docs[i] = x.docs[p]
 	}
@@ -308,6 +320,7 @@ func (x *executor) worker() {
 		}
 		x.mu.Unlock()
 		if resolved {
+			mCellSeconds.Observe(e.WallSeconds)
 			x.logEntry(e)
 			x.streamEntry(e)
 		}
@@ -322,6 +335,10 @@ func (x *executor) worker() {
 func (x *executor) next() (idx int, wait time.Duration, ok bool) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	defer func() {
+		mQueueDepth.Set(float64(len(x.queue)))
+		mBusyWorkers.Set(float64(x.busy))
+	}()
 	now := time.Now()
 	var soonest time.Time
 	for n := len(x.queue); n > 0; n-- {
@@ -393,6 +410,7 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 			e.Status = "done"
 			e.Cache = "hit"
 			e.WallSeconds = time.Since(start).Seconds()
+			mCellsHit.Inc()
 			fillScores(&e, doc)
 			return e, doc, true
 		}
@@ -403,6 +421,7 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 			e.Status = "failed"
 			e.Error = err.Error()
 			e.WallSeconds = time.Since(start).Seconds()
+			mCellFailures.Inc()
 			return e, nil, true
 		}
 		if !claimed {
@@ -417,12 +436,13 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 				e.Status = "done"
 				e.Cache = "hit"
 				e.WallSeconds = time.Since(start).Seconds()
+				mCellsHit.Inc()
 				fillScores(&e, doc)
 				return e, doc, true
 			}
 		}
 	}
-	doc, err := computeCell(run, x.jobs)
+	doc, err := x.computeCell(run)
 	if err == nil {
 		err = persist.SaveResult(archive, doc)
 	}
@@ -430,10 +450,12 @@ func (x *executor) attempt(run Run) (Entry, *persist.ResultDoc, bool) {
 	if err != nil {
 		e.Status = "failed"
 		e.Error = err.Error()
+		mCellFailures.Inc()
 		return e, nil, true
 	}
 	e.Status = "done"
 	e.Cache = "miss"
+	mCellsMiss.Inc()
 	e.Owner = x.opt.Owner
 	fillScores(&e, doc)
 	// Ledger append is advisory (archives are the ground truth), so a
@@ -634,14 +656,21 @@ func loadArchive(path string) (*persist.ResultDoc, bool) {
 	return doc, true
 }
 
-// computeCell runs one cell's measurement and encodes its archive
-// document.
-func computeCell(run Run, jobs int) (*persist.ResultDoc, error) {
+// computeCell runs one cell's measurement under a private tracer and
+// encodes its archive document; with TraceDir set, the phase trace is
+// published next to the archive (best-effort — a trace write failure is
+// logged, never fails the measurement).
+func (x *executor) computeCell(run Run) (*persist.ResultDoc, error) {
+	tr := telemetry.NewTracer()
+	sp := tr.Start("compile")
 	d, err := run.Spec.Compile()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunDataset(d, run.Options(jobs))
+	opts := run.Options(x.jobs)
+	opts.Trace = tr
+	res, err := core.RunDataset(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -649,6 +678,13 @@ func computeCell(run Run, jobs int) (*persist.ResultDoc, error) {
 	for _, rec := range res.Iterations {
 		if rec.Clustered {
 			series = append(series, rec.NMI)
+		}
+	}
+	if x.opt.TraceDir != "" {
+		if terr := writeTrace(x.opt.TraceDir, run, tr, res.Phases); terr != nil && x.opt.Log != nil {
+			x.logMu.Lock()
+			fmt.Fprintf(x.opt.Log, "trace write failed (non-fatal): %v\n", terr)
+			x.logMu.Unlock()
 		}
 	}
 	return persist.EncodeResult(run.Spec.Name, res.Partition, res.Q, res.NMI, res.TotalMeasurementTime, series), nil

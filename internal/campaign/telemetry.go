@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/telemetry"
+)
+
+// Campaign-executor metrics, in the process-wide registry. The cache
+// disposition counters mirror the manifest tallies but update live, so
+// a /metrics scrape mid-campaign shows progress the manifest only
+// records at the end.
+var (
+	mCellsHit = telemetry.Default().Counter("repro_campaign_cells_total",
+		"cells resolved, by cache disposition", telemetry.L("cache", "hit"))
+	mCellsMiss = telemetry.Default().Counter("repro_campaign_cells_total",
+		"cells resolved, by cache disposition", telemetry.L("cache", "miss"))
+	mCellsDup = telemetry.Default().Counter("repro_campaign_cells_total",
+		"cells resolved, by cache disposition", telemetry.L("cache", "dup"))
+	mCellFailures = telemetry.Default().Counter("repro_campaign_cell_failures_total",
+		"cells that failed to execute")
+	mQueueDepth = telemetry.Default().Gauge("repro_campaign_queue_depth",
+		"unresolved primary cells queued in this process")
+	mBusyWorkers = telemetry.Default().Gauge("repro_campaign_busy_workers",
+		"cells currently executing in this process")
+	mCellSeconds = telemetry.Default().Histogram("repro_campaign_cell_seconds",
+		"wall-clock time to resolve one cell", nil)
+)
+
+// traceMeta is the header line of a per-run trace file: the run's
+// identity plus its phase-timing summary. The spans follow, one JSON
+// object per line; readers aggregate by span name and skip the header
+// (it carries no "name").
+type traceMeta struct {
+	Trace    string            `json:"trace"`
+	Key      string            `json:"key"`
+	Run      int               `json:"run"`
+	Scenario string            `json:"scenario"`
+	Backend  string            `json:"backend"`
+	Phases   core.PhaseTimings `json:"phases"`
+}
+
+// writeTrace publishes one computed run's phase trace as
+// <dir>/<key>.jsonl (atomically, like every artifact). Traces are
+// observability output: they live outside the archive's change-detector
+// file set, never enter content keys, and a write failure must never
+// fail the measurement that produced them — callers log and move on.
+func writeTrace(dir string, run Run, tr *telemetry.Tracer, phases core.PhaseTimings) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return persist.WriteAtomic(filepath.Join(dir, run.Key+".jsonl"), func(w io.Writer) error {
+		b, err := json.Marshal(traceMeta{
+			Trace:    "run",
+			Key:      run.Key,
+			Run:      run.Index,
+			Scenario: run.Scenario,
+			Backend:  run.Backend,
+			Phases:   phases,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+		return tr.WriteJSONL(w)
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/bittorrent"
 	"repro/internal/cluster"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/substrate"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -107,6 +109,13 @@ type Options struct {
 	// declare capabilities, and Validate rejects options they cannot
 	// honor — "wire" refuses Dynamics timelines and BackgroundFlows.
 	Backend string
+	// Trace, when non-nil, receives the run's phase spans (per-iteration
+	// measure/clone, merge, cluster, NMI) for structured trace output.
+	// Telemetry is observability only: it never influences the
+	// measurement, and no trace state enters results, archives or
+	// campaign content hashes. When nil, Run records into a private
+	// tracer so Result.Phases is populated either way.
+	Trace *telemetry.Tracer
 	// DiscardBroadcasts, when true, drops the raw per-broadcast
 	// instrumentation after its fragment counts are merged:
 	// IterationRecord.Broadcast stays nil. A Result otherwise retains
@@ -222,6 +231,11 @@ type Result struct {
 	// TotalMeasurementTime is the summed simulated duration of all
 	// broadcasts — the cost of the measurement phase.
 	TotalMeasurementTime float64
+	// Phases is the run's real (wall-clock) cost broken down by pipeline
+	// phase. Observability only: excluded from archives and from every
+	// byte comparison, and varies run to run even when the measurement
+	// bytes are identical.
+	Phases PhaseTimings
 }
 
 // Run performs tomography over hosts on an existing simulated network.
@@ -245,6 +259,11 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Trace == nil {
+		opts.Trace = telemetry.NewTracer()
+	}
+	traceMark := opts.Trace.Mark()
+	wallStart := time.Now()
 	rng := sim.NewRNG(opts.Seed)
 	plans, err := planIterations(opts.Dynamics, hosts, opts)
 	if err != nil {
@@ -276,6 +295,7 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 			Timeline: tl,
 			Seed:     opts.Seed,
 			Workers:  opts.Workers,
+			Trace:    opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -284,6 +304,7 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 		if err := runParallel(sub, hosts, opts, rng, m, plans); err != nil {
 			return nil, err
 		}
+		m.res.Phases = phaseTimings(opts.Trace, traceMark, time.Since(wallStart))
 		return m.res, nil
 	}
 
@@ -292,12 +313,18 @@ func Run(eng *sim.Engine, net *simnet.Network, hosts []int, truth []int, opts Op
 		defer stop()
 	}
 	for it := 1; it <= opts.Iterations; it++ {
+		sp := opts.Trace.StartIter("measure", it)
 		bres, err := bittorrent.RunBroadcast(eng, net, hosts, broadcastConfig(opts, it, n), rng.Streamf("broadcast", it))
+		secs := sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", it, err)
 		}
+		mIterations.Inc()
+		mMeasureSeconds.Add(secs)
+		mIterationSeconds.Observe(secs)
 		m.add(it, bres)
 	}
+	m.res.Phases = phaseTimings(opts.Trace, traceMark, time.Since(wallStart))
 	return m.res, nil
 }
 
@@ -401,12 +428,19 @@ func runParallel(sub substrate.Substrate, hosts []int, opts Options, rng *sim.RN
 				if plans != nil {
 					iterHosts = plans[it].hosts
 				}
+				sp := opts.Trace.StartIter("measure", it)
 				bres, err := sub.Measure(ctx, substrate.Request{
 					Iter:   it,
 					Hosts:  iterHosts,
 					Config: broadcastConfig(opts, it, len(iterHosts)),
 					RNG:    rng.Streamf("broadcast", it),
 				})
+				secs := sp.End()
+				if err == nil {
+					mIterations.Inc()
+					mMeasureSeconds.Add(secs)
+					mIterationSeconds.Observe(secs)
+				}
 				results <- outcome{it: it, bres: bres, err: err}
 			}
 		}()
@@ -515,6 +549,7 @@ func (m *merger) add(it int, bres *bittorrent.Result) {
 	if m.plans != nil {
 		active = m.plans[it].active
 	}
+	sp := m.opts.Trace.StartIter("merge", it)
 	m.res.TotalMeasurementTime += bres.Duration
 	m.applyCounts(bres, active, 1)
 	if m.opts.Window > 0 {
@@ -527,6 +562,7 @@ func (m *merger) add(it int, bres *bittorrent.Result) {
 		}
 		m.window[slot] = measured{bres: bres, active: active}
 	}
+	mMergeSeconds.Add(sp.End())
 	rec := IterationRecord{Iteration: it, NMI: nan(), ActiveHosts: active}
 	if !m.opts.DiscardBroadcasts {
 		rec.Broadcast = bres
@@ -538,13 +574,17 @@ func (m *merger) add(it int, bres *bittorrent.Result) {
 		if m.opts.Window > 0 && m.opts.Window < it {
 			window = m.opts.Window
 		}
+		csp := m.opts.Trace.StartIter("cluster", it)
 		mean := meanGraph(m.counts, window, m.opts.TopFraction)
 		lou := cluster.Louvain(mean, m.rng.Streamf("louvain", it))
+		mClusterSeconds.Add(csp.End())
 		rec.Partition = lou.Partition
 		rec.Q = lou.Q
 		rec.Clustered = true
 		if m.truth != nil {
+			nsp := m.opts.Trace.StartIter("nmi", it)
 			rec.NMI = scoreNMI(m.truth, lou.Partition.Labels, active)
+			mNMISeconds.Add(nsp.End())
 		}
 		if it == m.opts.Iterations {
 			m.res.Graph = mean

@@ -156,6 +156,7 @@ func (t *Tracker) Claim(key string) (bool, string, error) {
 			t.mu.Lock()
 			t.held[key] = epoch
 			t.mu.Unlock()
+			mLeaseAcquired.Inc()
 			return true, t.owner, nil
 		}
 		doc, err := readLease(path)
@@ -184,12 +185,14 @@ func (t *Tracker) Claim(key string) (bool, string, error) {
 			ttl = t.ttl
 		}
 		if t.now().Sub(unixTime(doc.HeartbeatUnix)) <= ttl {
+			mLeaseContended.Inc()
 			return false, doc.Owner, nil // live holder
 		}
 		// Stale: the holder stopped heartbeating at least one TTL ago.
 		// Remove and retake (see the package comment for why the narrow
 		// remove/create race with another reclaimer is benign).
 		os.Remove(path)
+		mLeaseReclaimed.Inc()
 		epoch = doc.Epoch + 1
 	}
 	return false, "", nil
@@ -291,7 +294,9 @@ func (t *Tracker) refresh() {
 			continue
 		}
 		doc.HeartbeatUnix = unixSeconds(t.now())
-		writeLease(path, doc) // best-effort; next tick retries
+		if writeLease(path, doc) == nil { // best-effort; next tick retries
+			mLeaseHeartbeats.Inc()
+		}
 		t.mu.Unlock()
 	}
 }

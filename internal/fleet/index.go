@@ -51,7 +51,11 @@ type IndexEntry struct {
 // AppendIndex appends one entry to the index as a single atomic
 // O_APPEND write.
 func AppendIndex(path string, e IndexEntry) error {
-	return AppendLine(path, e)
+	if err := AppendLine(path, e); err != nil {
+		return err
+	}
+	mLedgerAppends.Inc()
+	return nil
 }
 
 // AppendLine appends v as one newline-terminated JSON line to path,

@@ -1,0 +1,20 @@
+package fleet
+
+import "repro/internal/telemetry"
+
+// Lease-protocol metrics, in the process-wide registry. Contention and
+// reclamation are invisible in a healthy fleet's output (claims simply
+// land elsewhere), so the counters are the only place a lease storm or
+// a crash-looping peer shows up.
+var (
+	mLeaseAcquired = telemetry.Default().Counter("repro_fleet_lease_acquired_total",
+		"leases successfully claimed")
+	mLeaseContended = telemetry.Default().Counter("repro_fleet_lease_contended_total",
+		"claims that observed a live holder and backed off")
+	mLeaseReclaimed = telemetry.Default().Counter("repro_fleet_lease_reclaimed_total",
+		"stale leases removed before retaking the key")
+	mLeaseHeartbeats = telemetry.Default().Counter("repro_fleet_lease_heartbeats_total",
+		"lease heartbeat refreshes published")
+	mLedgerAppends = telemetry.Default().Counter("repro_fleet_ledger_appends_total",
+		"execution-ledger lines appended")
+)

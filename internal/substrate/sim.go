@@ -3,10 +3,17 @@ package substrate
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bittorrent"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
+
+// mCloneSeconds totals the cost of building per-iteration replicas —
+// the price the parallel pipeline pays for bit-identical isolation.
+var mCloneSeconds = telemetry.Default().Counter("repro_substrate_clone_seconds_total",
+	"wall-clock seconds spent cloning engine+network replicas (incl. dynamics replay)")
 
 func init() {
 	mustRegister("sim", Capabilities{Dynamics: true, Background: true, Deterministic: true}, newSim)
@@ -39,6 +46,7 @@ func (s *simSubstrate) Capabilities() Capabilities {
 }
 
 func (s *simSubstrate) Measure(_ context.Context, req Request) (*bittorrent.Result, error) {
+	cloneStart := time.Now()
 	replicaEng := sim.NewEngine()
 	replica := s.env.Net.Clone(replicaEng)
 	if s.env.Timeline.Len() > 0 {
@@ -47,6 +55,9 @@ func (s *simSubstrate) Measure(_ context.Context, req Request) (*bittorrent.Resu
 		// events fire mid-broadcast.
 		s.env.Timeline.Apply(req.Iter, replicaEng, replica)
 	}
+	cloneSecs := time.Since(cloneStart).Seconds()
+	s.env.Trace.Record("clone", req.Iter, cloneStart, cloneSecs)
+	mCloneSeconds.Add(cloneSecs)
 	return bittorrent.RunBroadcast(replicaEng, replica, req.Hosts, req.Config, req.RNG)
 }
 

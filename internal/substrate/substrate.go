@@ -40,6 +40,7 @@ import (
 	"repro/internal/bittorrent"
 	"repro/internal/dynamics"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Capabilities declares what a substrate can honor. The core pipeline
@@ -92,6 +93,10 @@ type Env struct {
 	// substrate with; substrates holding real resources (ports,
 	// sockets) bound their internal concurrency with it.
 	Workers int
+	// Trace, when non-nil, receives substrate-internal phase spans
+	// (replica cloning, dynamics replay). Observability only; nil is a
+	// valid tracer whose recording is a no-op.
+	Trace *telemetry.Tracer
 }
 
 // Substrate executes measurement iterations.

@@ -166,6 +166,16 @@ func peerIndexFromID(id [20]byte) (int, error) {
 // deadline, so a peer that connects and then stalls costs a bounded wait,
 // not a leaked goroutine; a closed client refuses new connections.
 func (c *Client) AddConn(conn net.Conn, dial bool) (*peerConn, error) {
+	pc, err := c.addConn(conn, dial)
+	if err != nil {
+		mHandshakeFailures.Inc()
+	} else {
+		mHandshakes.Inc()
+	}
+	return pc, err
+}
+
+func (c *Client) addConn(conn net.Conn, dial bool) (*peerConn, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -252,6 +262,7 @@ func (pc *peerConn) send(m Message) {
 	default:
 		// The writer is wedged (dead transport with a full queue): kill
 		// the connection; the reader loop will run teardown.
+		mStalls.Inc()
 		pc.conn.Close()
 	}
 }
@@ -392,6 +403,7 @@ func (pc *peerConn) handle(m Message) {
 		has := c.have[m.Index]
 		c.mu.Unlock()
 		if !choking && has {
+			mPiecesSent.Inc()
 			pc.send(Message{ID: MsgPiece, Index: m.Index, Begin: 0, Payload: pieceData(int(m.Index))})
 		}
 	case MsgPiece:
@@ -399,6 +411,7 @@ func (pc *peerConn) handle(m Message) {
 			pc.teardown()
 			return
 		}
+		mPiecesReceived.Inc()
 		pc.mu.Lock()
 		delete(pc.outstanding, m.Index)
 		pc.mu.Unlock()

@@ -62,7 +62,15 @@ type SwarmOptions struct {
 // clean: when ctx expires (or Timeout elapses) the swarm's listeners,
 // clients and in-flight handshakes are all torn down before the call
 // returns, so a stalled peer costs an error, not leaked goroutines.
-func RunSwarm(ctx context.Context, opt SwarmOptions) (*SwarmResult, error) {
+func RunSwarm(ctx context.Context, opt SwarmOptions) (res *SwarmResult, err error) {
+	mSwarms.Inc()
+	defer func() {
+		if err != nil {
+			mSwarmFailures.Inc()
+		} else {
+			mSwarmSeconds.Observe(res.Duration.Seconds())
+		}
+	}()
 	n := opt.N
 	if n < 2 {
 		return nil, fmt.Errorf("wire: need at least 2 clients, have %d", n)
@@ -251,7 +259,7 @@ func RunSwarm(ctx context.Context, opt SwarmOptions) (*SwarmResult, error) {
 			return nil, fmt.Errorf("wire: client %d incomplete: %w", i, ctx.Err())
 		}
 	}
-	res := &SwarmResult{N: n, Duration: time.Since(start)}
+	res = &SwarmResult{N: n, Duration: time.Since(start)}
 	res.Fragments = make([][]int, n)
 	for i := 0; i < n; i++ {
 		res.Fragments[i] = make([]int, n)

@@ -157,6 +157,16 @@ func parseTrackerFailure(body []byte) (string, bool) {
 // it was handed. A bencoded failure reason from the tracker surfaces as
 // an error carrying the reason.
 func Announce(trackerURL string, t Torrent, peerID [20]byte, port int, event string) ([]TrackerPeer, error) {
+	peers, err := announce(trackerURL, t, peerID, port, event)
+	if err != nil {
+		mAnnounceFailures.Inc()
+	} else {
+		mAnnounces.Inc()
+	}
+	return peers, err
+}
+
+func announce(trackerURL string, t Torrent, peerID [20]byte, port int, event string) ([]TrackerPeer, error) {
 	u, err := url.Parse(trackerURL)
 	if err != nil {
 		return nil, fmt.Errorf("wire: bad tracker url: %w", err)

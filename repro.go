@@ -157,6 +157,7 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/scenario"
 	"repro/internal/substrate"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -170,6 +171,27 @@ type Result = core.Result
 
 // IterationRecord is one measurement iteration's record within a Result.
 type IterationRecord = core.IterationRecord
+
+// PhaseTimings is the per-phase wall-clock breakdown every Result
+// carries in Result.Phases: where a run's time went (measure, clone,
+// merge, cluster, NMI). Observability only — the timings never enter
+// archived documents or content keys.
+type PhaseTimings = core.PhaseTimings
+
+// Tracer records phase spans during a run when set on Options.Trace;
+// its spans can be serialized as JSONL and aggregated across runs (see
+// `campaign run -trace` and `campaign status`). A nil *Tracer is valid
+// everywhere and records nothing.
+type Tracer = telemetry.Tracer
+
+// NewTracer returns an empty span recorder for Options.Trace.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// Metrics is the process-wide telemetry registry every instrumented
+// layer (core, substrate, wire, fleet, campaign) reports into. Its
+// Handler() serves the Prometheus text exposition `campaign serve`
+// mounts at /metrics.
+func Metrics() *telemetry.Registry { return telemetry.Default() }
 
 // Dataset is a simulated network with hosts and a ground-truth logical
 // clustering. The built-in datasets model the paper's Grid'5000 settings.
