@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke ci
+.PHONY: all build examples test race vet fmt-check bench bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke dashboard-smoke ci
 
 all: build
 
@@ -36,8 +36,11 @@ bench-smoke:
 
 # bench emits BENCH_parallel.json: sequential vs Workers=N wall-clock on
 # the BGTL workload, plus a determinism cross-check of the two results.
+# Each run also appends a snapshot line to BENCH_trajectory.jsonl — the
+# append-only perf history — which jsonlcheck then validates.
 bench:
 	$(GO) run ./cmd/benchparallel -workers 4 -iterations 8 -out BENCH_parallel.json
+	$(GO) run ./cmd/jsonlcheck -schema trajectory BENCH_trajectory.jsonl
 
 # spec-smoke runs a custom JSON scenario end-to-end through the CLI with
 # parallel measurement — the declarative path a user would take.
@@ -171,4 +174,54 @@ obs-smoke:
 	kill $$pid; test $$st -eq 0
 	@rm -rf /tmp/bttomo_obs /tmp/bttomo_obs_bin /tmp/bttomo_obs_status.txt /tmp/bttomo_obs_metrics.txt
 
-ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke bench
+# dashboard-smoke asserts the live-dashboard path end to end: a serve
+# instance with -ingest is the hub, an SSE subscriber attaches before any
+# work starts, and a grid run into a SEPARATE archive streams every
+# manifest line to the hub with -report-to. The stream must deliver each
+# of the grid's 8 cells exactly once (and replay correctly on reconnect
+# via Last-Event-ID), every payload must pass `jsonlcheck -schema
+# events`, the SVG plots must be byte-stable (If-None-Match replay → 304,
+# twice), /dashboard must serve the embedded page with its event wiring,
+# the hub's per-owner counts must match the reporting archive's ledger,
+# and reporting must be provably inert: a second, unreported run must
+# finalize a byte-identical campaign.csv.
+dashboard-smoke:
+	rm -rf /tmp/bttomo_dash_hub /tmp/bttomo_dash_src /tmp/bttomo_dash_ref /tmp/bttomo_dash_bin /tmp/bttomo_dash_check /tmp/bttomo_dash_sse.txt /tmp/bttomo_dash_sse2.txt /tmp/bttomo_dash_events.jsonl
+	$(GO) build -o /tmp/bttomo_dash_bin ./cmd/campaign
+	$(GO) build -o /tmp/bttomo_dash_check ./cmd/jsonlcheck
+	mkdir -p /tmp/bttomo_dash_hub
+	/tmp/bttomo_dash_bin serve -out /tmp/bttomo_dash_hub -addr 127.0.0.1:8179 -ingest -events-interval 100ms & \
+	pid=$$!; sleep 1; st=0; \
+	curl -sN --max-time 120 http://127.0.0.1:8179/events >/tmp/bttomo_dash_sse.txt & \
+	ssepid=$$!; sleep 1; \
+	/tmp/bttomo_dash_bin run -spec testdata/campaigns/grid.json -out /tmp/bttomo_dash_src -jobs 2 -owner w1 -report-to http://127.0.0.1:8179 || st=1; \
+	for i in $$(seq 1 60); do \
+		test "$$(grep -c '"kind":"cell-finished"' /tmp/bttomo_dash_sse.txt 2>/dev/null)" -ge 8 && \
+		test "$$(grep -c '"kind":"run-executed"' /tmp/bttomo_dash_sse.txt 2>/dev/null)" -ge 8 && break; \
+		sleep 1; done; \
+	kill $$ssepid 2>/dev/null; wait $$ssepid 2>/dev/null; \
+	test "$$(grep -c '"kind":"cell-finished"' /tmp/bttomo_dash_sse.txt)" -eq 8 || st=1; \
+	test "$$(grep '"kind":"cell-finished"' /tmp/bttomo_dash_sse.txt | grep -o '"key":"[0-9a-f]*"' | sort -u | wc -l)" -eq 8 || st=1; \
+	grep '^data: ' /tmp/bttomo_dash_sse.txt | cut -d' ' -f2- >/tmp/bttomo_dash_events.jsonl; \
+	/tmp/bttomo_dash_check -schema events /tmp/bttomo_dash_events.jsonl || st=1; \
+	curl -sN --max-time 5 -H 'Last-Event-ID: 4' http://127.0.0.1:8179/events >/tmp/bttomo_dash_sse2.txt; \
+	grep '^data: ' /tmp/bttomo_dash_sse2.txt | head -1 | grep -q '"id":5,' || st=1; \
+	test "$$(grep -c '^data: ' /tmp/bttomo_dash_sse2.txt)" -ge 12 || st=1; \
+	etag=$$(curl -sfI http://127.0.0.1:8179/plots/intensity.svg | tr -d '\r' | grep -i '^etag:' | cut -d' ' -f2); \
+	test -n "$$etag" || st=1; \
+	for i in 1 2; do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $$etag" http://127.0.0.1:8179/plots/intensity.svg); \
+		test "$$code" = 304 || st=1; done; \
+	curl -sf http://127.0.0.1:8179/plots/intensity.svg | grep -q 'mean_q' || st=1; \
+	curl -sf http://127.0.0.1:8179/dashboard | grep -q 'EventSource' || st=1; \
+	curl -sf http://127.0.0.1:8179/status >/tmp/bttomo_dash_hub_status.json || st=1; \
+	grep -q '"executed": 8' /tmp/bttomo_dash_hub_status.json || st=1; \
+	grep -q '"owner": "w1"' /tmp/bttomo_dash_hub_status.json || st=1; \
+	kill $$pid; test $$st -eq 0
+	test "$$(grep -c '"cache":"miss"' /tmp/bttomo_dash_src/runs/index.json)" -eq 8
+	/tmp/bttomo_dash_bin run -spec testdata/campaigns/grid.json -out /tmp/bttomo_dash_ref -jobs 2 -owner w1
+	cmp /tmp/bttomo_dash_src/campaign.csv /tmp/bttomo_dash_ref/campaign.csv
+	/tmp/bttomo_dash_bin diff -out /tmp/bttomo_dash_src -base /tmp/bttomo_dash_ref | grep -q 'regressions: 0'
+	@rm -rf /tmp/bttomo_dash_hub /tmp/bttomo_dash_src /tmp/bttomo_dash_ref /tmp/bttomo_dash_bin /tmp/bttomo_dash_check /tmp/bttomo_dash_sse.txt /tmp/bttomo_dash_sse2.txt /tmp/bttomo_dash_events.jsonl /tmp/bttomo_dash_hub_status.json
+
+ci: fmt-check vet build examples race bench-smoke spec-smoke dynamics-smoke campaign-smoke fleet-smoke serve-smoke wire-smoke obs-smoke dashboard-smoke bench

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"repro/internal/archive"
+	"repro/internal/events"
 )
 
 // Archive is a typed, read-only view of one campaign output directory
@@ -63,4 +64,28 @@ func DiffArchives(dir, base string) (*ArchiveDiff, error) {
 		return nil, err
 	}
 	return st.Diff(base)
+}
+
+// ArchiveEvent is one typed change observed in a campaign archive —
+// a cell finishing, a lease changing hands, the campaign finalizing —
+// as produced by ArchiveWatcher and streamed by `campaign serve` at
+// /events.
+type ArchiveEvent = events.Event
+
+// ArchiveWatcher turns an Archive into a change feed: each Poll diffs
+// the directory against the previous poll and returns the new events
+// in order. The first poll replays the archive's full history, so a
+// consumer needs no separate backfill path. Polling is cheap when
+// nothing changed (a Stamp comparison).
+type ArchiveWatcher = events.Watcher
+
+// WatchArchive opens the campaign archive at dir and returns a watcher
+// over it — the programmatic equivalent of subscribing to
+// `campaign serve`'s /events stream.
+func WatchArchive(dir string) (*ArchiveWatcher, error) {
+	st, err := archive.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return events.NewWatcher(st), nil
 }

@@ -9,6 +9,11 @@
 //	benchparallel                          # BGTL, 8 iterations, 5% payload
 //	benchparallel -workers 8 -scale 0.25   # heavier run
 //	benchparallel -out BENCH_parallel.json
+//
+// Besides the overwritten snapshot, each successful run appends one
+// timestamped line to -trajectory (default BENCH_trajectory.jsonl), the
+// append-only perf history `jsonlcheck -schema trajectory` validates —
+// per-PR speedups stop being a single overwritten file.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 	"repro/internal/persist"
 )
 
@@ -84,20 +90,21 @@ type Report struct {
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "BGTL", "built-in dataset to measure")
-		iters   = flag.Int("iterations", 8, "measurement iterations")
-		scale   = flag.Float64("scale", 0.05, "broadcast payload scale (1.0 = the paper's 239 MB)")
-		workers = flag.Int("workers", 4, "parallel worker count to compare against Workers=1")
-		out     = flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+		dataset    = flag.String("dataset", "BGTL", "built-in dataset to measure")
+		iters      = flag.Int("iterations", 8, "measurement iterations")
+		scale      = flag.Float64("scale", 0.05, "broadcast payload scale (1.0 = the paper's 239 MB)")
+		workers    = flag.Int("workers", 4, "parallel worker count to compare against Workers=1")
+		out        = flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+		trajectory = flag.String("trajectory", "BENCH_trajectory.jsonl", "append a timestamped snapshot line to this JSONL trajectory (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *iters, *scale, *workers, *out); err != nil {
+	if err := run(*dataset, *iters, *scale, *workers, *out, *trajectory); err != nil {
 		fmt.Fprintln(os.Stderr, "benchparallel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, iters int, scale float64, workers int, out string) error {
+func run(dataset string, iters int, scale float64, workers int, out, trajectory string) error {
 	if workers < 2 {
 		return fmt.Errorf("need -workers >= 2 to compare against the single-worker baseline, got %d", workers)
 	}
@@ -211,7 +218,56 @@ func run(dataset string, iters int, scale float64, workers int, out string) erro
 	if !rep.CampaignIdentical {
 		return fmt.Errorf("warm campaign aggregate diverged from cold — resume contract broken")
 	}
+	// All contracts held: record the snapshot in the append-only
+	// trajectory (the history CI validates and archives per PR).
+	if trajectory != "" {
+		if err := appendTrajectory(trajectory, rep); err != nil {
+			return fmt.Errorf("trajectory append: %w", err)
+		}
+		if out != "-" {
+			fmt.Println("appended", trajectory)
+		}
+	}
 	return nil
+}
+
+// TrajectoryPoint is one appended line of BENCH_trajectory.jsonl: the
+// report's headline numbers plus a timestamp, small enough that years
+// of history stay a trivially greppable file.
+type TrajectoryPoint struct {
+	Unix              int64   `json:"unix"`
+	Dataset           string  `json:"dataset"`
+	Hosts             int     `json:"hosts"`
+	Iterations        int     `json:"iterations"`
+	Scale             float64 `json:"scale"`
+	Workers           int     `json:"workers"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	DynamicsSpeedup   float64 `json:"dynamics_speedup"`
+	CampaignCold      float64 `json:"campaign_cold_seconds"`
+	CampaignWarm      float64 `json:"campaign_warm_seconds"`
+}
+
+// appendTrajectory adds one whole-line O_APPEND record, the same
+// torn-tolerant discipline as every other JSONL file in the repo.
+func appendTrajectory(path string, rep Report) error {
+	return fleet.AppendLine(path, TrajectoryPoint{
+		Unix:              time.Now().Unix(),
+		Dataset:           rep.Dataset,
+		Hosts:             rep.Hosts,
+		Iterations:        rep.Iterations,
+		Scale:             rep.Scale,
+		Workers:           rep.Workers,
+		GOMAXPROCS:        rep.GOMAXPROCS,
+		SequentialSeconds: rep.SequentialSeconds,
+		ParallelSeconds:   rep.ParallelSeconds,
+		Speedup:           rep.Speedup,
+		DynamicsSpeedup:   rep.DynamicsSpeedup,
+		CampaignCold:      rep.CampaignColdSeconds,
+		CampaignWarm:      rep.CampaignWarmSeconds,
+	})
 }
 
 // campaignTiming is the cold/warm comparison of the sweep orchestrator.

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	campaign run    -spec grid.json -out runs/grid [-jobs N] [-resume] [-fleet -owner X -lease-ttl D] [-trace DIR] [-metrics-addr host:port]
+//	campaign run    -spec grid.json -out runs/grid [-jobs N] [-resume] [-fleet -owner X -lease-ttl D] [-trace DIR] [-metrics-addr host:port] [-report-to URL]
 //	campaign run    -spec grid.json -dry-run [-out runs/grid]   # audit the grid (keys + hit/miss)
 //	campaign status -out runs/grid [-json] [-v]                 # live fleet progress (+ phase breakdown)
-//	campaign serve  -out runs/grid [-addr host:port] [-pprof]   # HTTP query service
+//	campaign serve  -out runs/grid [-addr host:port] [-pprof] [-ingest]  # HTTP query service + live dashboard
 //	campaign diff   -out runs/grid -base runs/prev              # regression report (exit 1 on regressions)
 //	campaign gc     -out runs/grid [-spec grid.json] [-max-age D] [-max-runs N] [-dry-run]
 //
@@ -24,10 +24,13 @@
 //
 // run is also where observability switches on: -trace DIR writes one
 // phase-trace JSONL per computed cell (use DIR = <out>/traces so
-// `campaign status` finds them), and -metrics-addr starts a live
-// /metrics + /debug/pprof/ listener for the duration of the run. Both
-// are inert to the science: traces and metrics never enter content
-// keys, archived documents or the serve ETag.
+// `campaign status` finds them), -metrics-addr starts a live /metrics +
+// /debug/pprof/ listener for the duration of the run, and -report-to
+// URL POSTs each finished cell's manifest line to a remote `campaign
+// serve -ingest` instance, so a dashboard on another machine follows
+// this worker with no shared filesystem. All three are inert to the
+// science: a dead hub, like a failed trace write, is logged and
+// ignored — archives stay byte-identical with reporting on or off.
 //
 // status fuses the runs/index.json ledger, leases/ and per-owner
 // manifests into live progress: how much of the grid is archived, who
@@ -40,9 +43,17 @@
 // /runs/{key}, /marginals/{axis}, /diff?base=) with ETag/If-None-Match
 // keyed on the ledger, so dashboards and CI can poll cheaply while a
 // fleet is still writing. "/marginals/intensity" is the dynamics axis.
+// On top of the JSON views it serves the live observatory: GET
+// /plots/{axis}.svg and /plots/phases.svg render the marginal curves
+// and trace phase breakdown as deterministic SVG (same ETag
+// discipline), GET /events streams typed archive changes as
+// Server-Sent Events (replayable via Last-Event-ID), and GET
+// /dashboard is a self-contained HTML page subscribed to all of it.
 // GET /metrics exposes process telemetry in Prometheus text format
-// (never cached), and -pprof additionally mounts Go's profiling
-// handlers under /debug/pprof/.
+// (never cached), -pprof additionally mounts Go's profiling handlers
+// under /debug/pprof/, and -ingest mounts POST /ingest so remote
+// `campaign run -report-to` workers can stream their progress into
+// this archive.
 //
 // diff compares two archives by content key: shared keys must hold
 // byte-identical documents (the bit-identity contract), so any
@@ -55,9 +66,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -112,10 +125,10 @@ func main() {
 func usage(w *os.File) {
 	fmt.Fprintln(w, `campaign manages sweep campaigns against a content-addressed archive.
 
-  campaign run    -spec grid.json -out DIR [-jobs N] [-fleet -owner X]
+  campaign run    -spec grid.json -out DIR [-jobs N] [-fleet -owner X] [-report-to URL]
   campaign run    -spec grid.json -dry-run [-out DIR]
   campaign status -out DIR [-json]
-  campaign serve  -out DIR [-addr host:port]
+  campaign serve  -out DIR [-addr host:port] [-ingest]
   campaign diff   -out DIR -base DIR
   campaign gc     -out DIR [-spec grid.json] [-max-age D] [-max-runs N] [-dry-run]
 
@@ -153,6 +166,7 @@ func cmdRun(args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", time.Minute, "fleet lease staleness horizon; a worker silent this long is presumed crashed and its runs reclaimed")
 	traceDir := fs.String("trace", "", "write one phase-trace JSONL per computed cell into this directory (use <out>/traces so `campaign status` aggregates them)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live /metrics and /debug/pprof/ on this address for the duration of the run")
+	reportTo := fs.String("report-to", "", "POST each finished cell's manifest line to this `campaign serve -ingest` URL (progress crosses machines; failures are non-fatal)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,6 +199,10 @@ func cmdRun(args []string) error {
 		LeaseTTL: *leaseTTL,
 		TraceDir: *traceDir,
 	}
+	if *reportTo != "" {
+		opts.Report = httpReporter(*reportTo)
+		fmt.Printf("reporting progress to %s\n", *reportTo)
+	}
 	var res *repro.CampaignOutcome
 	if *fleetRun {
 		res, err = repro.JoinCampaign(c, opts)
@@ -207,6 +225,35 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("manifest: %s\naggregate: %s\n", res.ManifestPath, res.CSVPath)
 	return nil
+}
+
+// httpReporter builds the run's progress hook: POST one manifest line
+// per finished cell to a remote `campaign serve -ingest` instance, so a
+// dashboard on another machine follows this worker with no shared
+// filesystem. Reporting is observability, not record-keeping — the
+// short timeout and the executor's non-fatal handling mean a dead hub
+// costs log noise, never a cell.
+func httpReporter(url string) func(repro.CampaignEntry) error {
+	if !strings.HasSuffix(url, "/ingest") {
+		url = strings.TrimSuffix(url, "/") + "/ingest"
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	return func(e repro.CampaignEntry) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(append(data, '\n')))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("report: %s returned %s", url, resp.Status)
+		}
+		return nil
+	}
 }
 
 // serveMetrics starts the debug listener a long `campaign run` can be
@@ -408,6 +455,8 @@ func cmdServe(args []string) error {
 	out := outFlag(fs)
 	addr := fs.String("addr", "127.0.0.1:8177", "listen address (host:port; :0 picks a free port)")
 	withPprof := fs.Bool("pprof", false, "mount Go's profiling handlers under /debug/pprof/ (off by default: they expose process internals)")
+	withIngest := fs.Bool("ingest", false, "mount POST /ingest, accepting manifest lines from remote `campaign run -report-to` workers (off by default: it appends to the archive)")
+	eventsInterval := fs.Duration("events-interval", time.Second, "archive poll cadence behind the /events stream")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -419,12 +468,20 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	endpoints := "/status /runs /runs/{key} /marginals/{axis} /diff?base= /metrics"
+	endpoints := "/dashboard /events /status /runs /runs/{key} /marginals/{axis} /plots/{axis}.svg /plots/phases.svg /diff?base= /metrics"
+	if *withIngest {
+		endpoints += " POST:/ingest"
+	}
 	if *withPprof {
 		endpoints += " /debug/pprof/"
 	}
 	fmt.Printf("serving %s on http://%s (endpoints: %s)\n", store.Dir(), l.Addr(), endpoints)
-	return http.Serve(l, serve.NewHandler(store, serve.Options{Pprof: *withPprof}))
+	fmt.Printf("dashboard: http://%s/dashboard\n", l.Addr())
+	return http.Serve(l, serve.NewHandler(store, serve.Options{
+		Pprof:         *withPprof,
+		Ingest:        *withIngest,
+		EventInterval: *eventsInterval,
+	}))
 }
 
 func cmdDiff(args []string) error {

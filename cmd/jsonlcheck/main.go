@@ -1,29 +1,57 @@
-// Command jsonlcheck validates trace JSONL files: every line must be a
-// well-formed JSON object, and every file must contain at least one
-// span (an object with a "name") after its header line. It is the
-// strict complement to the tolerant readers — queries skip torn lines
-// by design, so CI needs a checker that refuses them.
+// Command jsonlcheck validates JSONL files: every line must be a
+// well-formed JSON object, and the whole file must satisfy a schema. It
+// is the strict complement to the tolerant readers — queries skip torn
+// lines by design, so CI needs a checker that refuses them.
 //
 // Usage:
 //
-//	jsonlcheck traces/*.jsonl
+//	jsonlcheck [-schema trace|events|trajectory] FILE.jsonl ...
+//
+// Schemas:
+//
+//	trace       (default) phase-trace files: at least one span (an
+//	            object with a "name") after the header line
+//	events      the archive event stream's payload lines: integer ids
+//	            strictly increasing from >= 1, a non-empty kind, and
+//	            any key a 64-hex content address
+//	trajectory  BENCH_trajectory.jsonl: per-PR benchmark snapshots with
+//	            non-decreasing unix timestamps, a dataset, and a
+//	            positive measured speedup
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/fleet"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: jsonlcheck FILE.jsonl ...")
+	schema := flag.String("schema", "trace", "file schema to enforce: trace, events, or trajectory")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck [-schema trace|events|trajectory] FILE.jsonl ...")
+		os.Exit(2)
+	}
+	var lineCheck func(obj map[string]any, st *fileState) error
+	var fileCheck func(st *fileState) error
+	switch *schema {
+	case "trace":
+		lineCheck, fileCheck = traceLine, traceFile
+	case "events":
+		lineCheck, fileCheck = eventsLine, noFileCheck
+	case "trajectory":
+		lineCheck, fileCheck = trajectoryLine, noFileCheck
+	default:
+		fmt.Fprintf(os.Stderr, "jsonlcheck: unknown -schema %q\n", *schema)
 		os.Exit(2)
 	}
 	bad := 0
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := check(path, lineCheck, fileCheck); err != nil {
 			fmt.Fprintf(os.Stderr, "jsonlcheck: %s: %v\n", path, err)
 			bad++
 		}
@@ -31,10 +59,19 @@ func main() {
 	if bad > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("jsonlcheck: %d files ok\n", len(os.Args)-1)
+	fmt.Printf("jsonlcheck: %d files ok (%s)\n", flag.NArg(), *schema)
 }
 
-func check(path string) error {
+// fileState accumulates across the lines of one file; the schemas use
+// it for cross-line invariants (span counts, monotonic ids).
+type fileState struct {
+	lines    int
+	spans    int
+	lastID   float64
+	lastUnix float64
+}
+
+func check(path string, lineCheck func(map[string]any, *fileState) error, fileCheck func(*fileState) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -42,25 +79,80 @@ func check(path string) error {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line, spans := 0, 0
+	st := &fileState{}
 	for sc.Scan() {
-		line++
+		st.lines++
 		var obj map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
-			return fmt.Errorf("line %d: %v", line, err)
+			return fmt.Errorf("line %d: %v", st.lines, err)
 		}
-		if name, ok := obj["name"].(string); ok && name != "" {
-			spans++
+		if err := lineCheck(obj, st); err != nil {
+			return fmt.Errorf("line %d: %v", st.lines, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if line == 0 {
+	if st.lines == 0 {
 		return fmt.Errorf("empty file")
 	}
-	if spans == 0 {
-		return fmt.Errorf("%d lines but no spans", line)
+	return fileCheck(st)
+}
+
+func noFileCheck(*fileState) error { return nil }
+
+func traceLine(obj map[string]any, st *fileState) error {
+	if name, ok := obj["name"].(string); ok && name != "" {
+		st.spans++
+	}
+	return nil
+}
+
+func traceFile(st *fileState) error {
+	if st.spans == 0 {
+		return fmt.Errorf("%d lines but no spans", st.lines)
+	}
+	return nil
+}
+
+func eventsLine(obj map[string]any, st *fileState) error {
+	id, ok := obj["id"].(float64)
+	if !ok || id < 1 || id != float64(int64(id)) {
+		return fmt.Errorf("id must be an integer >= 1, got %v", obj["id"])
+	}
+	if id <= st.lastID {
+		return fmt.Errorf("id %v not strictly increasing (previous %v)", id, st.lastID)
+	}
+	st.lastID = id
+	if kind, ok := obj["kind"].(string); !ok || kind == "" {
+		return fmt.Errorf("kind must be a non-empty string, got %v", obj["kind"])
+	}
+	if raw, present := obj["key"]; present {
+		key, ok := raw.(string)
+		if !ok || !fleet.IsArchiveKey(key) {
+			return fmt.Errorf("key must be a 64-hex content address, got %v", raw)
+		}
+	}
+	return nil
+}
+
+func trajectoryLine(obj map[string]any, st *fileState) error {
+	unix, ok := obj["unix"].(float64)
+	if !ok || unix <= 0 {
+		return fmt.Errorf("unix must be a positive timestamp, got %v", obj["unix"])
+	}
+	if unix < st.lastUnix {
+		return fmt.Errorf("unix %v goes backwards (previous %v)", unix, st.lastUnix)
+	}
+	st.lastUnix = unix
+	if ds, ok := obj["dataset"].(string); !ok || ds == "" {
+		return fmt.Errorf("dataset must be a non-empty string, got %v", obj["dataset"])
+	}
+	if w, ok := obj["workers"].(float64); !ok || w < 1 {
+		return fmt.Errorf("workers must be >= 1, got %v", obj["workers"])
+	}
+	if sp, ok := obj["speedup"].(float64); !ok || sp <= 0 {
+		return fmt.Errorf("speedup must be positive, got %v", obj["speedup"])
 	}
 	return nil
 }

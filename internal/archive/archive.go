@@ -176,7 +176,7 @@ type RunDetail struct {
 // user-supplied keys).
 func (s *Store) Get(key string) (*RunDetail, error) {
 	if !fleet.IsArchiveKey(key) {
-		return nil, fmt.Errorf("archive: %q is not a run key (want a sha256 hex digest)", key)
+		return nil, fmt.Errorf("archive: %q: %w (want a sha256 hex digest)", key, ErrBadKey)
 	}
 	d := &RunDetail{RunInfo: RunInfo{Key: key, Run: -1}}
 	entries, err := fleet.ReadIndex(s.indexPath())

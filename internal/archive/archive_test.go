@@ -136,7 +136,7 @@ func TestGetReturnsDocumentAndRejectsBadKeys(t *testing.T) {
 		t.Fatal("document decoded empty")
 	}
 
-	if _, err := st.Get("../../etc/passwd"); err == nil || !strings.Contains(err.Error(), "is not a run key") {
+	if _, err := st.Get("../../etc/passwd"); !errors.Is(err, ErrBadKey) {
 		t.Fatalf("traversal key not rejected: %v", err)
 	}
 	unknown := strings.Repeat("00", 32)

@@ -1,0 +1,17 @@
+package archive
+
+import "errors"
+
+// Sentinel errors the HTTP service maps to status codes. Queries wrap
+// these (errors.Is matches), keeping the classification — "the request
+// was malformed" vs "the resource does not exist" — in the package that
+// knows, instead of string-matching in handlers.
+var (
+	// ErrBadKey marks a run key that is not a content address at all:
+	// a malformed request, not a missing resource.
+	ErrBadKey = errors.New("not a run key")
+	// ErrUnknownAxis marks a marginal axis name outside MarginalAxes():
+	// the axis namespace is fixed, so an unknown one is a resource that
+	// does not exist.
+	ErrUnknownAxis = errors.New("unknown marginal axis")
+)

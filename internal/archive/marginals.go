@@ -80,7 +80,7 @@ var axisAliases = map[string]string{
 func (s *Store) Marginals(axis string) (*Marginal, error) {
 	canon, ok := axisAliases[strings.ToLower(axis)]
 	if !ok {
-		return nil, fmt.Errorf("archive: unknown marginal axis %q (have %v)", axis, MarginalAxes())
+		return nil, fmt.Errorf("archive: %w %q (have %v)", ErrUnknownAxis, axis, MarginalAxes())
 	}
 	cells, err := s.finishedCells()
 	if err != nil {

@@ -79,6 +79,11 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	tracesDir := filepath.Join(dir, TracesDirName)
+	if err := os.MkdirAll(tracesDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
 	const total = 60
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -87,6 +92,7 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 		defer wg.Done()
 		defer close(stop)
 		idx := filepath.Join(runsDir, "index.json")
+		logPath := filepath.Join(dir, "manifest.log")
 		for i := 0; i < total; i++ {
 			key := syntheticKey(i)
 			tmp := filepath.Join(runsDir, key+".json.tmp-w")
@@ -95,6 +101,23 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 				return
 			}
 			if err := os.Rename(tmp, filepath.Join(runsDir, key+".json")); err != nil {
+				t.Error(err)
+				return
+			}
+			// A trace file per run — torn mid-span every 5th, as a
+			// killed worker leaves it.
+			trace := `{"name":"aggregate","seconds":0.5}` + "\n"
+			if i%5 == 0 {
+				trace += `{"name":"memb`
+			}
+			if err := os.WriteFile(filepath.Join(tracesDir, key+".jsonl"), []byte(trace), 0o644); err != nil {
+				t.Error(err)
+				return
+			}
+			// The streamed manifest line the cell's completion appends.
+			if err := fleet.AppendLine(logPath, map[string]any{
+				"index": i, "key": key, "status": "done", "scenario": "s", "q": 0.5,
+			}); err != nil {
 				t.Error(err)
 				return
 			}
@@ -121,6 +144,8 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 	for r := 0; r < readers; r++ {
 		go func() { // the readers: every query, continuously, until done
 			defer wg.Done()
+			var logOff, ledgerOff int64
+			tailed := make(map[string]bool)
 			for {
 				select {
 				case <-stop:
@@ -154,7 +179,33 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 						return
 					}
 				}
+				if _, err := st.Traces(); err != nil {
+					t.Errorf("Traces during writes: %v", err)
+					return
+				}
+				// Incremental tails must never re-deliver a consumed line,
+				// even while the writer interleaves torn prefixes.
+				entries, off, err := st.TailLog(logOff)
+				if err != nil {
+					t.Errorf("TailLog during writes: %v", err)
+					return
+				}
+				logOff = off
+				for _, e := range entries {
+					if tailed[e.Key] {
+						t.Errorf("tail re-delivered key %s", e.Key)
+						return
+					}
+					tailed[e.Key] = true
+				}
+				_, off, err = st.TailLedger(ledgerOff)
+				if err != nil {
+					t.Errorf("TailLedger during writes: %v", err)
+					return
+				}
+				ledgerOff = off
 				st.Stamp()
+				st.TracesStamp()
 			}
 		}()
 	}
@@ -174,6 +225,26 @@ func TestReadsDuringLiveWriter(t *testing.T) {
 	}
 	if status.Executed != total || status.Archived != total {
 		t.Fatalf("settled status wrong: %+v", status)
+	}
+	// Every trace file read (torn ones degrade to their parseable
+	// prefix, never drop the file), every complete span counted.
+	traces, err := st.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces.Files != total {
+		t.Fatalf("settled traces read %d files, want %d", traces.Files, total)
+	}
+	if len(traces.Phases) != 1 || traces.Phases[0].Phase != "aggregate" || traces.Phases[0].Spans != total {
+		t.Fatalf("settled phase breakdown wrong: %+v", traces.Phases)
+	}
+	// A settled tail from zero delivers every streamed line exactly once.
+	entries, _, err := st.TailLog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != total {
+		t.Fatalf("settled TailLog delivered %d entries, want %d", len(entries), total)
 	}
 }
 

@@ -1,0 +1,150 @@
+package serve
+
+// dashboardHTML is the live dashboard: one self-contained page, no
+// external assets, served at /dashboard. It subscribes to /events with
+// EventSource (the browser re-sends Last-Event-ID on reconnect, so the
+// stream's replay ring makes refreshes and network blips lossless),
+// keeps headline counters fresh from /status, and cache-busts the SVG
+// plots on each event so the charts advance as cells land.
+//
+// Styling follows the validated chart palette: surfaces and inks as CSS
+// custom properties, dark mode as its own selected values (not an
+// automatic flip), series hues never used for text.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>campaign dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e1e0d9;
+  --series-1: #2a78d6;
+  --ok: #0ca30c;
+  --bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #2c2c2a;
+    --series-1: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 20px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+}
+h1 { font-size: 18px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin-bottom: 16px; }
+.sub .live { color: var(--ok); }
+.sub .dead { color: var(--bad); }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 16px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 12px 16px; min-width: 120px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+.row { display: flex; flex-wrap: wrap; gap: 16px; margin-bottom: 16px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 8px; flex: 1 1 320px;
+}
+.card img { max-width: 100%; display: block; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 4px 8px; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
+td.kind { color: var(--series-1); }
+</style>
+</head>
+<body>
+<h1>campaign dashboard</h1>
+<div class="sub">archive <span id="archive"></span> · events <span id="conn" class="dead">connecting…</span></div>
+<div class="tiles">
+  <div class="tile"><div class="v" id="executed">–</div><div class="k">executed</div></div>
+  <div class="tile"><div class="v" id="archived">–</div><div class="k">archived</div></div>
+  <div class="tile"><div class="v" id="inflight">–</div><div class="k">in flight</div></div>
+  <div class="tile"><div class="v" id="owners">–</div><div class="k">owners</div></div>
+  <div class="tile"><div class="v" id="finalized">–</div><div class="k">finalized</div></div>
+</div>
+<div class="row">
+  <div class="card"><img id="plot-axis" src="plots/dynamics.svg" alt="marginal plot"></div>
+  <div class="card"><img id="plot-phases" src="plots/phases.svg" alt="phase breakdown"></div>
+</div>
+<div class="card">
+  <table>
+    <thead><tr><th>id</th><th>event</th><th>cell</th><th>owner</th><th>detail</th></tr></thead>
+    <tbody id="events"></tbody>
+  </table>
+</div>
+<script>
+"use strict";
+const maxRows = 20;
+let statusTimer = null;
+
+function refreshStatus() {
+  fetch("status").then(r => r.json()).then(s => {
+    document.getElementById("executed").textContent = s.executed ?? 0;
+    document.getElementById("archived").textContent = s.archived ?? 0;
+    document.getElementById("inflight").textContent = s.in_flight ?? 0;
+    document.getElementById("owners").textContent = (s.owners || []).length;
+    document.getElementById("finalized").textContent = s.finalized ? "yes" : "no";
+  }).catch(() => {});
+}
+function scheduleStatus() { // debounce: one refetch per event burst
+  if (statusTimer) return;
+  statusTimer = setTimeout(() => { statusTimer = null; refreshStatus(); }, 250);
+}
+function bustPlots(id) {
+  document.getElementById("plot-axis").src = "plots/dynamics.svg?v=" + id;
+  document.getElementById("plot-phases").src = "plots/phases.svg?v=" + id;
+}
+function addRow(ev) {
+  const tb = document.getElementById("events");
+  const tr = document.createElement("tr");
+  const cell = ev.scenario ? ev.scenario + " #" + (ev.run ?? "") : (ev.key || "").slice(0, 12);
+  const detail = ev.error ? ev.error
+    : ev.kind === "cell-finished" ? (ev.cache || "") + " q=" + (ev.q ?? 0).toFixed(3)
+    : ev.epoch ? "epoch " + ev.epoch : "";
+  tr.innerHTML = "<td>" + ev.id + "</td><td class=kind></td><td></td><td></td><td></td>";
+  tr.children[1].textContent = ev.kind;
+  tr.children[2].textContent = cell;
+  tr.children[3].textContent = ev.owner || "";
+  tr.children[4].textContent = detail;
+  tb.prepend(tr);
+  while (tb.children.length > maxRows) tb.removeChild(tb.lastChild);
+}
+function onEvent(e) {
+  const ev = JSON.parse(e.data);
+  addRow(ev);
+  scheduleStatus();
+  bustPlots(ev.id);
+}
+
+fetch(".").then(r => r.json()).then(x => {
+  document.getElementById("archive").textContent = x.archive;
+}).catch(() => {});
+refreshStatus();
+
+const es = new EventSource("events");
+es.onopen = () => { const c = document.getElementById("conn"); c.textContent = "live"; c.className = "live"; };
+es.onerror = () => { const c = document.getElementById("conn"); c.textContent = "reconnecting…"; c.className = "dead"; };
+for (const kind of ["cell-finished", "cell-failed", "run-executed",
+                    "lease-claimed", "lease-reclaimed", "finalized"]) {
+  es.addEventListener(kind, onEvent);
+}
+</script>
+</body>
+</html>
+`

@@ -2,7 +2,7 @@
 // query service dashboards, CI regression gates and fleet operators
 // poll while (and after) a fleet writes the directory.
 //
-// Endpoints (all GET, all JSON unless noted):
+// Endpoints (GET, JSON unless noted):
 //
 //	/            endpoint index
 //	/status      live fleet progress (ledger + leases + manifests)
@@ -10,31 +10,57 @@
 //	/runs/{key}  one run's ledger record and archived document
 //	/marginals/{axis}  per-axis NMI/Q/timing curve ("dynamics",
 //	             "iterations", ...; "intensity" aliases "dynamics")
+//	/plots/{axis}.svg  the same marginal curve rendered as an SVG chart
+//	/plots/phases.svg  aggregated phase breakdown from traces/, as SVG
 //	/diff?base=DIR     regression report against another archive
+//	/dashboard   live HTML dashboard (subscribes to /events)
+//	/events      archive change feed, Server-Sent Events (no ETag:
+//	             a stream has no representation to cache; reconnect
+//	             with Last-Event-ID to replay missed events)
 //	/metrics     process telemetry, Prometheus text format (no ETag:
 //	             metrics change continuously and are never cached)
 //	/debug/pprof/*     Go profiling handlers, when Options.Pprof is set
+//	POST /ingest       append remote manifest lines, when Options.Ingest
+//	             is set — the cross-machine write path for
+//	             `campaign run -report-to`
 //
-// Every JSON response carries an ETag derived from the archive's
-// Stamp() — the sizes and mtimes of the append-only ledger and
-// manifests, which change exactly when archive state changes. A poller
-// that replays the ETag via If-None-Match gets 304 Not Modified until a
-// new completion lands, so heavy read traffic against an idle archive
-// costs a handful of stat calls per poll, no document reads, and
-// responses are byte-stable between state changes. Lease heartbeats
-// deliberately do not enter the ETag: they refresh every TTL/3 without
-// changing any completed result. Trace files under traces/ are equally
-// excluded — telemetry output must never churn the ETag.
+// Every JSON and SVG response carries an ETag derived from the
+// archive's Stamp() — the sizes and mtimes of the append-only ledger
+// and manifests, which change exactly when archive state changes. A
+// poller that replays the ETag via If-None-Match gets 304 Not Modified
+// until a new completion lands, so heavy read traffic against an idle
+// archive costs a handful of stat calls per poll, no document reads,
+// and responses are byte-stable between state changes. Lease
+// heartbeats deliberately do not enter the ETag: they refresh every
+// TTL/3 without changing any completed result. Trace files under
+// traces/ are equally excluded, so /plots/phases.svg keys its ETag on
+// Stamp() plus the separate TracesStamp().
+//
+// Error classification is the archive package's job, not a handler
+// string-match: archive.ErrBadKey maps to 400 (malformed request),
+// archive.ErrUnknownAxis and fs-level not-exist map to 404 (no such
+// resource), anything else is a 500.
 package serve
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/archive"
+	"repro/internal/campaign"
+	"repro/internal/events"
+	"repro/internal/fleet"
+	"repro/internal/report"
 	"repro/internal/telemetry"
 )
 
@@ -48,10 +74,23 @@ type Options struct {
 	// /debug/pprof/. Off by default: profiling endpoints expose process
 	// internals and cost real CPU when scraped, so they are opt-in.
 	Pprof bool
+	// Ingest mounts POST /ingest, accepting manifest lines from remote
+	// `campaign run -report-to` writers. Off by default: it turns a
+	// read-only service into one that appends to its archive, so the
+	// operator opts in explicitly.
+	Ingest bool
+	// EventInterval is the /events watcher's poll cadence (default 1s).
+	EventInterval time.Duration
+	// Heartbeat is the SSE comment-line cadence that keeps idle /events
+	// connections alive through proxies (default 15s).
+	Heartbeat time.Duration
+	// Replay bounds the /events replay ring for Last-Event-ID
+	// reconnects (default events.DefaultReplay).
+	Replay int
 }
 
 // Handler returns the HTTP handler serving the store's read path with
-// default options (metrics on, pprof off).
+// default options (metrics on, pprof and ingest off).
 func Handler(st *archive.Store) http.Handler {
 	return NewHandler(st, Options{})
 }
@@ -62,9 +101,21 @@ func NewHandler(st *archive.Store, opt Options) http.Handler {
 	if reg == nil {
 		reg = telemetry.Default()
 	}
+	stream := events.NewStream(events.NewWatcher(st), opt.EventInterval, opt.Replay)
+	heartbeat := opt.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", counted("index", func(w http.ResponseWriter, r *http.Request) {
-		endpoints := []string{"/status", "/runs", "/runs/{key}", "/marginals/{axis}", "/diff?base=DIR", "/metrics"}
+		endpoints := []string{
+			"/status", "/runs", "/runs/{key}", "/marginals/{axis}",
+			"/plots/{axis}.svg", "/plots/phases.svg", "/diff?base=DIR",
+			"/dashboard", "/events", "/metrics",
+		}
+		if opt.Ingest {
+			endpoints = append(endpoints, "POST /ingest")
+		}
 		if opt.Pprof {
 			endpoints = append(endpoints, "/debug/pprof/")
 		}
@@ -96,11 +147,7 @@ func NewHandler(st *archive.Store, opt Options) http.Handler {
 		stamp := st.Stamp()
 		detail, err := st.Get(r.PathValue("key"))
 		if err != nil {
-			status := http.StatusNotFound
-			if strings.Contains(err.Error(), "is not a run key") {
-				status = http.StatusBadRequest
-			}
-			http.Error(w, err.Error(), status)
+			fail(w, err)
 			return
 		}
 		respond(w, r, stamp, detail)
@@ -109,10 +156,36 @@ func NewHandler(st *archive.Store, opt Options) http.Handler {
 		stamp := st.Stamp()
 		m, err := st.Marginals(r.PathValue("axis"))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			fail(w, err)
 			return
 		}
 		respond(w, r, stamp, m)
+	}))
+	mux.HandleFunc("GET /plots/{name}", counted("plots", func(w http.ResponseWriter, r *http.Request) {
+		name, ok := strings.CutSuffix(r.PathValue("name"), ".svg")
+		if !ok {
+			http.Error(w, "plots: want /plots/{axis}.svg or /plots/phases.svg", http.StatusNotFound)
+			return
+		}
+		if name == "phases" {
+			// Traces sit outside Stamp() by design, so the phase plot
+			// needs both change detectors in its ETag.
+			stamp := st.Stamp() + "|" + st.TracesStamp()
+			sum, err := st.Traces()
+			if err != nil {
+				fail(w, err)
+				return
+			}
+			respondBody(w, r, stamp, "image/svg+xml", phasesSVG(sum))
+			return
+		}
+		stamp := st.Stamp()
+		m, err := st.Marginals(name)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		respondBody(w, r, stamp, "image/svg+xml", marginalSVG(m))
 	}))
 	mux.HandleFunc("GET /diff", counted("diff", func(w http.ResponseWriter, r *http.Request) {
 		base := r.URL.Query().Get("base")
@@ -134,6 +207,19 @@ func NewHandler(st *archive.Store, opt Options) http.Handler {
 		}
 		respond(w, r, stamp, rep)
 	}))
+	mux.HandleFunc("GET /events", counted("events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(w, r, stream, heartbeat)
+	}))
+	mux.HandleFunc("GET /dashboard", counted("dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		io.WriteString(w, dashboardHTML)
+	}))
+	if opt.Ingest {
+		mux.HandleFunc("POST /ingest", counted("ingest", func(w http.ResponseWriter, r *http.Request) {
+			serveIngest(w, r, st)
+		}))
+	}
 	// /metrics is deliberately outside the ETag/304 discipline: counters
 	// move with every scrape-worthy event, and Prometheus clients expect
 	// a fresh body each poll.
@@ -147,6 +233,180 @@ func NewHandler(st *archive.Store, opt Options) http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// serveSSE streams archive events as Server-Sent Events. A reconnecting
+// client's Last-Event-ID replays what the stream's ring still holds,
+// then live events follow; heartbeat comment lines keep idle
+// connections alive. The response never ends on its own — the client
+// hangs up, or the subscriber is dropped for falling behind (and the
+// client's automatic reconnect resumes it).
+func serveSSE(w http.ResponseWriter, r *http.Request, stream *events.Stream, heartbeat time.Duration) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "events: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var lastID int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		lastID, _ = strconv.ParseInt(v, 10, 64)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	ch := stream.Subscribe(lastID)
+	defer stream.Unsubscribe(ch)
+	hb := time.NewTicker(heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-hb.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		case e, ok := <-ch:
+			if !ok {
+				return // dropped or stream closed; client reconnects
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Kind, data)
+			fl.Flush()
+		}
+	}
+}
+
+// ingestMaxBody bounds one POST /ingest body: manifest lines are a few
+// hundred bytes each, so 1 MiB is thousands of cells per request.
+const ingestMaxBody = 1 << 20
+
+var mIngested = telemetry.Default().Counter(
+	"repro_http_ingested_lines_total", "Manifest lines accepted via POST /ingest.")
+
+// serveIngest appends posted manifest lines to the serving archive: one
+// JSON cell entry per line, the same shape `campaign run` streams to
+// manifest.log. Lines are re-marshalled before the append (a remote
+// writer cannot inject raw bytes into the archive), malformed lines are
+// skipped with the read path's tolerance, and ledger attribution is
+// mirrored for fresh executions so /status per-owner counts on the hub
+// match `campaign status` on the writer.
+func serveIngest(w http.ResponseWriter, r *http.Request, st *archive.Store) {
+	logPath := filepath.Join(st.Dir(), "manifest.log")
+	idxPath := filepath.Join(st.Dir(), "runs", "index.json")
+	sc := bufio.NewScanner(io.LimitReader(r.Body, ingestMaxBody))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	accepted, seen := 0, 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		seen++
+		var e campaign.Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Key == "" || !fleet.IsArchiveKey(e.Key) {
+			continue // torn or foreign line: skip, exactly like a reader would
+		}
+		if e.Status != "done" && e.Status != "failed" {
+			continue
+		}
+		if err := fleet.AppendLine(logPath, e); err != nil {
+			fail(w, err)
+			return
+		}
+		// Mirror the writer's ledger rule: fresh executions (and only
+		// those) get an attribution record, so per-owner counts agree
+		// across machines.
+		if e.Status == "done" && e.Cache == "miss" && e.Owner != "" {
+			if err := fleet.AppendIndex(idxPath, fleet.IndexEntry{
+				Key:           e.Key,
+				Run:           e.Index,
+				Scenario:      e.Scenario,
+				Backend:       e.Backend,
+				Owner:         e.Owner,
+				Cache:         e.Cache,
+				WallSeconds:   e.WallSeconds,
+				CompletedUnix: fleet.NowUnix(),
+			}); err != nil {
+				fail(w, err)
+				return
+			}
+		}
+		accepted++
+		mIngested.Inc()
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "ingest: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if seen > 0 && accepted == 0 {
+		http.Error(w, "ingest: no valid manifest lines in body", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n  \"ingested\": %d\n}\n", accepted)
+}
+
+// marginalSVG renders one axis's marginal curve: mean Q (and mean NMI
+// where ground truth exists) against the axis coordinate. Numeric axes
+// plot on their real scale; categorical axes (scenario names) plot by
+// index with tick labels.
+func marginalSVG(m *archive.Marginal) []byte {
+	p := &report.SVGPlot{
+		Title:  "marginal: " + m.Axis,
+		XLabel: m.Axis,
+		YLabel: "score",
+	}
+	numeric := len(m.Points) > 0
+	for _, pt := range m.Points {
+		if _, err := strconv.ParseFloat(pt.Value, 64); err != nil {
+			numeric = false
+			break
+		}
+	}
+	xs := make([]float64, len(m.Points))
+	for i, pt := range m.Points {
+		if numeric {
+			xs[i], _ = strconv.ParseFloat(pt.Value, 64)
+		} else {
+			xs[i] = float64(i)
+			p.XTicks = append(p.XTicks, report.SVGTick{X: float64(i), Label: pt.Value})
+		}
+	}
+	qs := make([]float64, len(m.Points))
+	var nmiXs, nmiYs []float64
+	for i, pt := range m.Points {
+		qs[i] = pt.MeanQ
+		if pt.MeanNMI != nil {
+			nmiXs = append(nmiXs, xs[i])
+			nmiYs = append(nmiYs, *pt.MeanNMI)
+		}
+	}
+	if len(m.Points) > 0 {
+		p.Add("mean_q", xs, qs)
+	}
+	if len(nmiXs) > 0 {
+		p.Add("mean_nmi", nmiXs, nmiYs)
+	}
+	return p.Bytes()
+}
+
+// phasesSVG renders the aggregated trace phase breakdown as horizontal
+// bars, ordered as Traces() orders them (total seconds descending).
+func phasesSVG(sum *archive.TraceSummary) []byte {
+	b := &report.SVGBars{
+		Title: fmt.Sprintf("phase seconds (%d trace files)", sum.Files),
+		Unit:  "s",
+	}
+	for _, ph := range sum.Phases {
+		b.Add(ph.Phase, ph.Seconds)
+	}
+	return b.Bytes()
 }
 
 // counted wraps a handler with the per-endpoint request counter.
@@ -163,6 +423,19 @@ func counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 // honouring If-None-Match so pollers of an unchanged archive get a
 // bodyless 304.
 func respond(w http.ResponseWriter, r *http.Request, stamp string, v any) {
+	var body strings.Builder
+	enc := json.NewEncoder(&body)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(w, err)
+		return
+	}
+	respondBody(w, r, stamp, "application/json", []byte(body.String()))
+}
+
+// respondBody writes a response body of any content type under the
+// ETag/304 discipline shared by every archive view.
+func respondBody(w http.ResponseWriter, r *http.Request, stamp, contentType string, body []byte) {
 	etag := fmt.Sprintf("%q", stamp)
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Cache-Control", "no-cache")
@@ -174,15 +447,19 @@ func respond(w http.ResponseWriter, r *http.Request, stamp string, v any) {
 			}
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
-		return
-	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
 }
 
+// fail maps a query error to its status code: the archive package
+// classifies (bad request vs missing resource), the handler translates.
 func fail(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusInternalServerError)
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, archive.ErrBadKey):
+		status = http.StatusBadRequest
+	case errors.Is(err, archive.ErrUnknownAxis), errors.Is(err, os.ErrNotExist):
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
 }

@@ -149,8 +149,46 @@ func TestMarginalsEndpoint(t *testing.T) {
 	if m.Axis != "dynamics" || m.Cells != 4 {
 		t.Fatalf("marginal wrong: %+v", m)
 	}
-	if rec := get(t, h, "/marginals/flavour", nil, nil); rec.Code != http.StatusBadRequest {
-		t.Fatalf("unknown axis: want 400, got %d", rec.Code)
+	if rec := get(t, h, "/marginals/flavour", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown axis: want 404, got %d", rec.Code)
+	}
+}
+
+// The error-mapping contract, end to end: the archive package
+// classifies, the handler translates, and every endpoint agrees on
+// which malformed requests are 400 and which missing resources are 404.
+func TestStatusCodeMapping(t *testing.T) {
+	dir, h := servedArchive(t)
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"index", "/", http.StatusOK},
+		{"status", "/status", http.StatusOK},
+		{"runs", "/runs", http.StatusOK},
+		{"run detail", "/runs/" + strings.Repeat("ab", 32), http.StatusNotFound},
+		{"malformed key", "/runs/not-a-key", http.StatusBadRequest},
+		{"traversal key", "/runs/..%2f..%2fetc%2fpasswd", http.StatusBadRequest},
+		{"marginal ok", "/marginals/dynamics", http.StatusOK},
+		{"marginal alias", "/marginals/intensity", http.StatusOK},
+		{"unknown axis", "/marginals/flavour", http.StatusNotFound},
+		{"plot ok", "/plots/intensity.svg", http.StatusOK},
+		{"plot phases", "/plots/phases.svg", http.StatusOK},
+		{"plot unknown axis", "/plots/flavour.svg", http.StatusNotFound},
+		{"plot without suffix", "/plots/intensity", http.StatusNotFound},
+		{"diff ok", "/diff?base=" + dir, http.StatusOK},
+		{"diff missing base", "/diff", http.StatusBadRequest},
+		{"diff bad base", "/diff?base=" + filepath.Join(dir, "absent"), http.StatusBadRequest},
+		{"dashboard", "/dashboard", http.StatusOK},
+		{"unknown path", "/nonsense", http.StatusNotFound},
+		{"ingest off", "/ingest", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rec := get(t, h, tc.url, nil, nil)
+		if rec.Code != tc.want {
+			t.Errorf("%s (%s): got %d, want %d\n%s", tc.name, tc.url, rec.Code, tc.want, rec.Body.String())
+		}
 	}
 }
 

@@ -60,6 +60,13 @@ type ExecOptions struct {
 	// aggregates or content keys, and the archive's Stamp()/ETag change
 	// detector ignores it by construction.
 	TraceDir string
+	// Report, when non-nil, receives each streamed manifest entry after
+	// its local manifest.log append — the hook `campaign run -report-to`
+	// uses to POST progress to a remote serve instance's /ingest. Like
+	// every telemetry path, reporting is provably inert: a failing (or
+	// slow, or absent) reporter changes nothing in the archive, and
+	// errors are logged, never propagated.
+	Report func(Entry) error
 }
 
 // Manifest records one campaign invocation: every cell's key, cache
@@ -510,6 +517,13 @@ func (x *executor) streamEntry(e Entry) {
 		x.logMu.Lock()
 		fmt.Fprintf(x.opt.Log, "manifest.log append failed (non-fatal): %v\n", err)
 		x.logMu.Unlock()
+	}
+	if x.opt.Report != nil {
+		if err := x.opt.Report(e); err != nil && x.opt.Log != nil {
+			x.logMu.Lock()
+			fmt.Fprintf(x.opt.Log, "report failed (non-fatal): %v\n", err)
+			x.logMu.Unlock()
+		}
 	}
 }
 

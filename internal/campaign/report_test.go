@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The reporter hook observes every streamed entry — exactly the
+// manifest.log lines, exactly once per streamed cell — and a failing
+// reporter is logged, never fatal, and provably inert: the archives a
+// reported run writes are byte-identical to an unreported run's.
+func TestReportHookObservesAndStaysInert(t *testing.T) {
+	spec := testCampaign(t)
+
+	// Baseline: no reporter.
+	plain := filepath.Join(t.TempDir(), "plain")
+	mustExecute(t, spec, ExecOptions{OutDir: plain, Jobs: 2, Resume: true})
+
+	// Reported run: collect entries, and fail the reporter on half of
+	// them to prove errors stay non-fatal.
+	var mu sync.Mutex
+	var reported []Entry
+	var log strings.Builder
+	reportedDir := filepath.Join(t.TempDir(), "reported")
+	out := mustExecute(t, spec, ExecOptions{
+		OutDir: reportedDir, Jobs: 2, Resume: true,
+		Log: &log,
+		Report: func(e Entry) error {
+			mu.Lock()
+			defer mu.Unlock()
+			reported = append(reported, e)
+			if len(reported)%2 == 0 {
+				return errors.New("hub unreachable")
+			}
+			return nil
+		},
+	})
+	if out.Manifest.Failures != 0 {
+		t.Fatalf("reporter errors must not fail cells: %+v", out.Manifest)
+	}
+	if len(reported) != 4 {
+		t.Fatalf("reporter saw %d entries, want 4 (one per streamed cell)", len(reported))
+	}
+	keys := map[string]bool{}
+	for _, e := range reported {
+		if e.Status != "done" || e.Key == "" {
+			t.Fatalf("reported entry malformed: %+v", e)
+		}
+		if keys[e.Key] {
+			t.Fatalf("key %s reported twice", e.Key)
+		}
+		keys[e.Key] = true
+	}
+	if !strings.Contains(log.String(), "report failed (non-fatal)") {
+		t.Fatalf("reporter failure not logged: %q", log.String())
+	}
+
+	// Inertness: every archived byte identical with and without the
+	// reporter.
+	for _, name := range []string{"campaign.csv", "summary.txt"} {
+		a := readFile(t, filepath.Join(plain, name))
+		b := readFile(t, filepath.Join(reportedDir, name))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between reported and unreported runs", name)
+		}
+	}
+	plainRuns, reportedRuns := runFiles(t, plain), runFiles(t, reportedDir)
+	if len(plainRuns) != len(reportedRuns) {
+		t.Fatalf("archive counts differ: %d vs %d", len(plainRuns), len(reportedRuns))
+	}
+	for i := range plainRuns {
+		if plainRuns[i] != reportedRuns[i] {
+			t.Fatalf("archive sets differ: %v vs %v", plainRuns, reportedRuns)
+		}
+		a := readFile(t, filepath.Join(plain, "runs", plainRuns[i]))
+		b := readFile(t, filepath.Join(reportedDir, "runs", reportedRuns[i]))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("runs/%s differs between reported and unreported runs", plainRuns[i])
+		}
+	}
+}
+
+func runFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") && e.Name() != "index.json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}

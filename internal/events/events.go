@@ -1,0 +1,198 @@
+// Package events turns the campaign archive's append-only files into a
+// typed change feed. The archive was built to be *tailed* — the ledger
+// and streamed manifest are whole-line O_APPEND records, leases are
+// heartbeat files — but until now every consumer polled full queries and
+// diffed by hand. A Watcher does that diffing once, behind the same
+// read-path discipline as the Store (torn lines skipped, mid-write files
+// degraded, never failed), and a Stream fans the resulting events out to
+// any number of subscribers with bounded replay — the engine behind the
+// HTTP service's /events SSE endpoint and its live dashboard.
+//
+// Events are observability output, never a system of record: dropping
+// one (a slow subscriber, a restarted watcher) loses a notification, not
+// a result — the archive remains the ground truth and every event can be
+// re-derived from it.
+package events
+
+import (
+	"repro/internal/archive"
+	"repro/internal/campaign"
+)
+
+// Event kinds, in the rough order a campaign emits them.
+const (
+	// KindCellFinished fires per manifest.log "done" line: a grid cell
+	// produced a result (Cache says whether it was computed, replayed
+	// from the archive, or deduplicated within the grid).
+	KindCellFinished = "cell-finished"
+	// KindCellFailed fires per manifest.log "failed" line.
+	KindCellFailed = "cell-failed"
+	// KindRunExecuted fires per ledger append: a fresh execution
+	// published an archive document. Distinct from KindCellFinished so
+	// consumers counting cache misses never double-count cells.
+	KindRunExecuted = "run-executed"
+	// KindLeaseClaimed and KindLeaseReclaimed fire when a lease file
+	// appears, or changes holder/epoch, between polls.
+	KindLeaseClaimed   = "lease-claimed"
+	KindLeaseReclaimed = "lease-reclaimed"
+	// KindFinalized fires once when campaign.csv appears — the quorum
+	// aggregate is published.
+	KindFinalized = "finalized"
+)
+
+// Event is one observed archive change. ID is assigned by the Stream
+// (monotonic per stream, 1-based) and doubles as the SSE event id, so a
+// reconnecting consumer resumes exactly where it dropped.
+type Event struct {
+	ID   int64  `json:"id"`
+	Kind string `json:"kind"`
+	// Key is the run content address, where the change names one.
+	Key string `json:"key,omitempty"`
+	// Run/Scenario/Config/Backend echo the manifest or ledger record.
+	Run      int    `json:"run,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	// Owner attributes the change to a worker (executor or lease
+	// holder).
+	Owner string `json:"owner,omitempty"`
+	// Cache is the cell disposition for cell events ("hit", "miss",
+	// "dup").
+	Cache string `json:"cache,omitempty"`
+	// Epoch is the lease epoch for lease events.
+	Epoch int `json:"epoch,omitempty"`
+	// Q/NMI/WallSeconds carry the headline scores for finished cells.
+	Q           float64  `json:"q,omitempty"`
+	NMI         *float64 `json:"nmi,omitempty"`
+	WallSeconds float64  `json:"wall_seconds,omitempty"`
+	// Error is the failure message for failed cells.
+	Error string `json:"error,omitempty"`
+}
+
+// Watcher incrementally diffs one archive into events. It is a pull
+// API — each Poll returns the events since the previous Poll — and is
+// not safe for concurrent Polls; the Stream serialises access, and a
+// bare Watcher belongs to one goroutine.
+//
+// The first Poll replays the archive's full history (offset 0), so a
+// consumer attaching mid-campaign gets the complete picture, in order,
+// before live changes.
+type Watcher struct {
+	store *archive.Store
+
+	stamp     string
+	logOff    int64
+	ledgerOff int64
+	leases    map[string]leaseState
+	finalized bool
+	polled    bool
+}
+
+type leaseState struct {
+	owner string
+	epoch int
+}
+
+// NewWatcher returns a Watcher over the store. The store is read fresh
+// on every Poll, so a Watcher opened before a fleet starts observes its
+// whole lifecycle.
+func NewWatcher(store *archive.Store) *Watcher {
+	return &Watcher{store: store, leases: make(map[string]leaseState)}
+}
+
+// Poll returns the events that occurred since the previous Poll. It
+// never fails on torn or mid-write files (those degrade to fewer events
+// this poll, delivered next poll); the error path is reserved for the
+// archive becoming unreadable outright.
+func (w *Watcher) Poll() ([]Event, error) {
+	var evs []Event
+
+	// Stamp gates the append-only tails: an unchanged stamp means the
+	// ledger/log/csv cannot have moved, so an idle archive costs a few
+	// stats. Leases are outside the stamp by design (heartbeats must not
+	// churn ETags), so the lease diff runs every poll.
+	stamp := w.store.Stamp()
+	if stamp != w.stamp || !w.polled {
+		logEntries, logOff, err := w.store.TailLog(w.logOff)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range logEntries {
+			evs = append(evs, cellEvent(e))
+		}
+		w.logOff = logOff
+
+		ledger, ledgerOff, err := w.store.TailLedger(w.ledgerOff)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ledger {
+			evs = append(evs, Event{
+				Kind:        KindRunExecuted,
+				Key:         e.Key,
+				Run:         e.Run,
+				Scenario:    e.Scenario,
+				Backend:     e.Backend,
+				Owner:       e.Owner,
+				Cache:       e.Cache,
+				WallSeconds: e.WallSeconds,
+			})
+		}
+		w.ledgerOff = ledgerOff
+
+		if !w.finalized && w.store.Finalized() {
+			w.finalized = true
+			evs = append(evs, Event{Kind: KindFinalized})
+		}
+		w.stamp = stamp
+	}
+
+	leases, err := w.store.Leases()
+	if err == nil {
+		next := make(map[string]leaseState, len(leases))
+		for _, l := range leases {
+			st := leaseState{owner: l.Owner, epoch: l.Epoch}
+			next[l.Key] = st
+			prev, seen := w.leases[l.Key]
+			switch {
+			case !seen:
+				evs = append(evs, Event{
+					Kind: KindLeaseClaimed, Key: l.Key, Owner: l.Owner, Epoch: l.Epoch,
+				})
+			case prev != st:
+				evs = append(evs, Event{
+					Kind: KindLeaseReclaimed, Key: l.Key, Owner: l.Owner, Epoch: l.Epoch,
+				})
+			}
+		}
+		// A vanished lease is a release (the cell finished or was
+		// GC'd) — the cell event already tells that story, so removal
+		// emits nothing.
+		w.leases = next
+	}
+
+	w.polled = true
+	return evs, nil
+}
+
+// cellEvent maps one streamed manifest entry to its event.
+func cellEvent(e campaign.Entry) Event {
+	kind := KindCellFinished
+	if e.Status != "done" {
+		kind = KindCellFailed
+	}
+	return Event{
+		Kind:        kind,
+		Key:         e.Key,
+		Run:         e.Index,
+		Scenario:    e.Scenario,
+		Config:      e.Config,
+		Backend:     e.Backend,
+		Owner:       e.Owner,
+		Cache:       e.Cache,
+		Q:           e.Q,
+		NMI:         e.NMI,
+		WallSeconds: e.WallSeconds,
+		Error:       e.Error,
+	}
+}

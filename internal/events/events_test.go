@@ -1,0 +1,237 @@
+package events
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/fleet"
+)
+
+func key(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+func openStore(t *testing.T, dir string) *archive.Store {
+	t.Helper()
+	st, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func appendLog(t *testing.T, dir string, line string) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, "manifest.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(line); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// A watcher attaching to an archive with history replays it on the
+// first poll, then reports only increments — including a torn line
+// completed between polls — plus lease and finalize transitions.
+func TestWatcherLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	k1, k2, k3 := key(1), key(2), key(3)
+	appendLog(t, dir, fmt.Sprintf(`{"index":0,"key":"%s","status":"done","owner":"w1","cache":"miss","q":0.5}`+"\n", k1))
+	if err := fleet.AppendIndex(filepath.Join(dir, "runs", "index.json"),
+		fleet.IndexEntry{Key: k1, Run: 0, Owner: "w1", Cache: "miss"}); err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWatcher(openStore(t, dir))
+	evs, err := w.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != KindCellFinished || evs[1].Kind != KindRunExecuted {
+		t.Fatalf("first poll should replay history: %+v", evs)
+	}
+	if evs[0].Owner != "w1" || evs[0].Cache != "miss" || evs[0].Q != 0.5 {
+		t.Fatalf("cell event lost attribution: %+v", evs[0])
+	}
+
+	// Idle archive: no events.
+	if evs, err = w.Poll(); err != nil || len(evs) != 0 {
+		t.Fatalf("idle poll emitted: %+v err=%v", evs, err)
+	}
+
+	// A torn append emits nothing; completing it emits exactly once.
+	appendLog(t, dir, fmt.Sprintf(`{"index":1,"key":"%s"`, k2))
+	if evs, err = w.Poll(); err != nil || len(evs) != 0 {
+		t.Fatalf("torn line emitted: %+v err=%v", evs, err)
+	}
+	appendLog(t, dir, `,"status":"failed","error":"boom"}`+"\n")
+	evs, err = w.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Kind != KindCellFailed || evs[0].Error != "boom" {
+		t.Fatalf("completed torn line: %+v err=%v", evs, err)
+	}
+
+	// Lease appears -> claimed; epoch bump -> reclaimed; removal -> nothing.
+	leaseDir := filepath.Join(dir, "leases")
+	if err := os.MkdirAll(leaseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leasePath := filepath.Join(leaseDir, k3+".json")
+	writeLease := func(owner string, epoch int) {
+		data := fmt.Sprintf(`{"key":"%s","owner":"%s","epoch":%d,"acquired_unix":1,"heartbeat_unix":1,"ttl_seconds":60}`, k3, owner, epoch)
+		if err := os.WriteFile(leasePath, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeLease("w1", 1)
+	evs, err = w.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Kind != KindLeaseClaimed || evs[0].Owner != "w1" {
+		t.Fatalf("lease claim: %+v err=%v", evs, err)
+	}
+	writeLease("w2", 2)
+	evs, err = w.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Kind != KindLeaseReclaimed || evs[0].Owner != "w2" || evs[0].Epoch != 2 {
+		t.Fatalf("lease reclaim: %+v err=%v", evs, err)
+	}
+	if err := os.Remove(leasePath); err != nil {
+		t.Fatal(err)
+	}
+	if evs, err = w.Poll(); err != nil || len(evs) != 0 {
+		t.Fatalf("lease release emitted: %+v err=%v", evs, err)
+	}
+
+	// Finalize fires exactly once.
+	if err := os.WriteFile(filepath.Join(dir, "campaign.csv"), []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = w.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Kind != KindFinalized {
+		t.Fatalf("finalize: %+v err=%v", evs, err)
+	}
+	if evs, err = w.Poll(); err != nil || len(evs) != 0 {
+		t.Fatalf("finalize re-fired: %+v err=%v", evs, err)
+	}
+}
+
+// The stream assigns monotonic IDs, replays across reconnects from
+// Last-Event-ID, and delivers live appends — under -race with the
+// writer appending concurrently.
+func TestStreamReplayAndLive(t *testing.T) {
+	dir := t.TempDir()
+	const total = 20
+	for i := 0; i < 10; i++ {
+		appendLog(t, dir, fmt.Sprintf(`{"index":%d,"key":"%s","status":"done"}`+"\n", i, key(i)))
+	}
+	s := NewStream(NewWatcher(openStore(t, dir)), 5*time.Millisecond, 64)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // live writer racing the subscriber
+		defer wg.Done()
+		for i := 10; i < total; i++ {
+			appendLog(t, dir, fmt.Sprintf(`{"index":%d,"key":"%s","status":"done"}`+"\n", i, key(i)))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	ch := s.Subscribe(0)
+	var got []Event
+	deadline := time.After(5 * time.Second)
+	for len(got) < total {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				t.Fatal("subscriber dropped")
+			}
+			got = append(got, e)
+		case <-deadline:
+			t.Fatalf("timeout: got %d/%d events", len(got), total)
+		}
+	}
+	wg.Wait()
+	for i, e := range got {
+		if e.ID != int64(i+1) {
+			t.Fatalf("IDs not monotonic from 1: event %d has ID %d", i, e.ID)
+		}
+		if e.Run != i {
+			t.Fatalf("events out of order: position %d has run %d", i, e.Run)
+		}
+	}
+	s.Unsubscribe(ch)
+
+	// Reconnect mid-stream: only events after Last-Event-ID replay.
+	ch2 := s.Subscribe(15)
+	var replayed []Event
+	deadline = time.After(5 * time.Second)
+	for len(replayed) < total-15 {
+		select {
+		case e, ok := <-ch2:
+			if !ok {
+				t.Fatal("reconnect subscriber dropped")
+			}
+			replayed = append(replayed, e)
+		case <-deadline:
+			t.Fatalf("reconnect timeout: got %d/%d", len(replayed), total-15)
+		}
+	}
+	if replayed[0].ID != 16 {
+		t.Fatalf("replay started at %d, want 16", replayed[0].ID)
+	}
+	s.Unsubscribe(ch2)
+}
+
+// The poll loop runs only while subscribed: Subscribe starts it,
+// Unsubscribe of the last subscriber stops it, and a later Subscribe
+// restarts it and still sees events from the idle gap's ring.
+func TestStreamLoopStartsAndStops(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStream(NewWatcher(openStore(t, dir)), time.Millisecond, 64)
+	defer s.Close()
+
+	ch := s.Subscribe(0)
+	appendLog(t, dir, fmt.Sprintf(`{"index":0,"key":"%s","status":"done"}`+"\n", key(0)))
+	select {
+	case e := <-ch:
+		if e.ID != 1 {
+			t.Fatalf("first event ID %d", e.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event while subscribed")
+	}
+	s.Unsubscribe(ch)
+	time.Sleep(20 * time.Millisecond) // let the loop observe zero subscribers and exit
+
+	// With no loop running, the append sits unobserved...
+	appendLog(t, dir, fmt.Sprintf(`{"index":1,"key":"%s","status":"done"}`+"\n", key(1)))
+	// ...until the next subscriber restarts it.
+	ch2 := s.Subscribe(1)
+	select {
+	case e := <-ch2:
+		if e.ID != 2 || e.Run != 1 {
+			t.Fatalf("restarted loop delivered %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not restart on re-subscribe")
+	}
+	s.Unsubscribe(ch2)
+}
+
+// Close drops every subscriber and further subscribes get a closed
+// channel.
+func TestStreamClose(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStream(NewWatcher(openStore(t, dir)), time.Millisecond, 8)
+	ch := s.Subscribe(0)
+	s.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("subscriber channel not closed on Close")
+	}
+	if _, ok := <-s.Subscribe(0); ok {
+		t.Fatal("post-Close subscribe returned a live channel")
+	}
+}

@@ -367,6 +367,11 @@ type CampaignOutcome = campaign.Outcome
 // CampaignRun is one expanded cell of a campaign grid.
 type CampaignRun = campaign.Run
 
+// CampaignEntry is one finished cell's manifest record — the unit the
+// streamed manifest.log, the CampaignOptions.Report hook and the serve
+// /ingest endpoint all exchange.
+type CampaignEntry = campaign.Entry
+
 // NewCampaign starts a fluent campaign declaration. Finish the chain with
 // Spec(), then execute with RunCampaign.
 func NewCampaign(name string) *CampaignBuilder { return campaign.NewBuilder(name) }
